@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure benchmark runs the full twenty-benchmark sweep of the paper's
+evaluation.  The sweep is shared (session scope) so that configurations used
+by several figures (e.g. the ISA-assisted baseline appears in Figures 7, 8,
+9, 10 and 11) are simulated once.
+
+Scale can be adjusted with the ``REPRO_BENCH_INSTRUCTIONS`` environment
+variable (default 8000 dynamic macro instructions per benchmark per
+configuration — the scale the reproduction was calibrated at).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.common import ExperimentSettings, OverheadSweep  # noqa: E402
+
+DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "8000"))
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return ExperimentSettings(instructions=DEFAULT_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def sweep(settings):
+    return OverheadSweep(settings)
+
+
+def report(result, expected):
+    """Print a paper-vs-measured report for one experiment."""
+    lines = [f"\n=== {result.name} ===", result.format_table(),
+             "--- paper vs measured ---"]
+    for key, paper_value in expected.items():
+        measured = result.summary.get(key)
+        measured_text = f"{measured:.1f}" if isinstance(measured, float) else str(measured)
+        lines.append(f"{key:<40} paper={paper_value:<8} measured={measured_text}")
+    print("\n".join(lines))

@@ -1,0 +1,19 @@
+"""Ablations: idealized shadow accesses (§9.3) and rename-time copy elimination (§6.2)."""
+
+from conftest import report
+from repro.experiments import ablations
+
+
+def test_design_ablations(benchmark, sweep):
+    result = benchmark.pedantic(ablations.run, kwargs={"sweep": sweep},
+                                rounds=1, iterations=1)
+    report(result, ablations.EXPECTED)
+
+    isa = result.summary["isa-assisted_geomean_percent"]
+    ideal = result.summary["ideal-shadow_geomean_percent"]
+    no_elim = result.summary["no-copy-elimination_geomean_percent"]
+    # Idealizing the shadow accesses isolates the cache-pressure component.
+    assert ideal < isa
+    # Disabling copy elimination adds explicit metadata-copy µops, so it can
+    # only cost more front-end bandwidth than the optimized design.
+    assert no_elim >= isa * 0.95

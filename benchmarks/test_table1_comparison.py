@@ -1,0 +1,14 @@
+"""Table 1: comparison of use-after-free checking approaches."""
+
+from conftest import report
+from repro.experiments import table1_comparison
+
+
+def test_table1_comparison(benchmark):
+    result = benchmark.pedantic(table1_comparison.run, rounds=1, iterations=1)
+    report(result, {"mismatches_vs_paper": 0})
+    print(table1_comparison.format_table())
+    # Every qualitative column derived from the executable models must match
+    # the paper's table.
+    assert result.summary["mismatches_vs_paper"] == 0
+    assert result.summary["approaches"] == 11

@@ -1,0 +1,11 @@
+"""Table 2: simulated processor configuration."""
+
+from conftest import report
+from repro.experiments import table2_config
+
+
+def test_table2_configuration(benchmark):
+    result = benchmark.pedantic(table2_config.run, rounds=1, iterations=1)
+    report(result, table2_config.EXPECTED)
+    print(table2_config.format_table())
+    assert result.summary["mismatches_vs_paper"] == 0

@@ -1,0 +1,67 @@
+"""Full memory safety: the bounds-checking extension (§8).
+
+Builds a program with both a temporal error (use-after-free) and a spatial
+error (heap buffer overflow into an adjacent object) and shows which
+configurations catch which:
+
+* UAF-only Watchdog catches the temporal error but not the overflow,
+* the bounds-extended configurations (fused single µop or separate µop)
+  catch both — full memory safety.
+
+Run with::
+
+    python examples/buffer_overflow_bounds.py
+"""
+
+from repro import Machine, ProgramBuilder, WatchdogConfig
+
+
+def overflow_program():
+    """Write one element past the end of a 4-element array."""
+    builder = ProgramBuilder()
+    with builder.function("main") as main:
+        main.malloc("r1", 32)              # int64 buffer[4]
+        main.malloc("r2", 32)              # adjacent object holding a secret
+        main.mov_imm("r8", 0x5EC2E7)
+        main.store("r2", "r8", 0)
+        main.mov_imm("r9", 0x41414141)
+        for index in range(5):             # off-by-one: indexes 0..4
+            main.store("r1", "r9", 8 * index)
+        main.free("r1")
+        main.free("r2")
+    return builder.build()
+
+
+def uaf_program():
+    builder = ProgramBuilder()
+    with builder.function("main") as main:
+        main.malloc("r1", 32)
+        main.mov("r2", "r1")
+        main.free("r1")
+        main.load("r3", "r2", 0)
+    return builder.build()
+
+
+CONFIGS = (
+    ("baseline (no protection)", WatchdogConfig.disabled()),
+    ("Watchdog UAF-only", WatchdogConfig.isa_assisted_uaf()),
+    ("Watchdog + bounds (fused 1 uop)", WatchdogConfig.full_safety_fused()),
+    ("Watchdog + bounds (2 uops)", WatchdogConfig.full_safety_two_uops()),
+)
+
+
+def main():
+    programs = (("heap buffer overflow", overflow_program()),
+                ("use-after-free", uaf_program()))
+    for program_name, program in programs:
+        print(f"=== {program_name} ===")
+        for config_name, config in CONFIGS:
+            result = Machine(config).run(program)
+            verdict = (f"DETECTED ({result.violation_kind})" if result.detected
+                       else "not detected")
+            print(f"  {config_name:<34} {verdict}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

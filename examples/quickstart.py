@@ -1,0 +1,65 @@
+"""Quickstart: detect the Figure 1 use-after-free bugs with Watchdog.
+
+Builds the two motivating programs from the paper's Figure 1 — a heap
+use-after-free through an aliased pointer and a stack use-after-free through
+a published local address — and runs them on the functional machine with and
+without Watchdog.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Machine, ProgramBuilder, WatchdogConfig
+
+
+def heap_use_after_free():
+    """Figure 1 (left): q aliases p, p is freed and reallocated, *q is read."""
+    builder = ProgramBuilder()
+    with builder.function("main") as main:
+        main.malloc("r1", 8)           # p = malloc(8)
+        main.mov("r2", "r1")           # q = p
+        main.free("r1")                # free(p)
+        main.malloc("r3", 8)           # r = malloc(8)  (reuses p's chunk)
+        main.load("r4", "r2")          # ... = *q       (dangling!)
+    return builder.build()
+
+
+def stack_use_after_free():
+    """Figure 1 (right): foo() publishes &a in a global; main dereferences it
+    after foo's frame has been popped."""
+    builder = ProgramBuilder()
+    with builder.function("foo") as foo:
+        foo.stack_alloc("r1", 8)       # int a;
+        foo.global_addr("r2", 0)       # q (a global pointer slot)
+        foo.store_ptr("r2", "r1")      # q = &a
+        foo.ret()
+    with builder.function("main") as main:
+        main.call("foo")
+        main.global_addr("r2", 0)
+        main.load_ptr("r3", "r2")      # reload q
+        main.load("r4", "r3")          # ... = *q       (stale stack address!)
+    return builder.build()
+
+
+def run(name, program):
+    print(f"--- {name} ---")
+    for label, config in (("unprotected baseline", WatchdogConfig.disabled()),
+                          ("Watchdog (ISA-assisted)", WatchdogConfig.isa_assisted_uaf())):
+        result = Machine(config).run(program)
+        if result.detected:
+            print(f"  {label:<26} DETECTED: {result.violation_kind} "
+                  f"at address {result.violation.address:#x}")
+        else:
+            print(f"  {label:<26} completed silently "
+                  f"({result.instructions_executed} instructions)")
+    print()
+
+
+def main():
+    run("heap use-after-free (Figure 1, left)", heap_use_after_free())
+    run("stack use-after-free (Figure 1, right)", stack_use_after_free())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Overhead study on the SPEC-like synthetic workloads.
+
+A scaled-down version of the Figure 7 / Figure 9 / Figure 11 experiments:
+picks a handful of benchmarks (or all twenty with ``--all``), times them under
+the baseline and several Watchdog configurations on the out-of-order timing
+model, and prints per-benchmark slowdowns plus geometric means.
+
+Run with::
+
+    python examples/spec_overhead_study.py              # 6 benchmarks, quick
+    python examples/spec_overhead_study.py --all        # all twenty
+"""
+
+import argparse
+
+from repro import Simulator, WatchdogConfig, benchmark_names
+from repro.sim.stats import geometric_mean_overhead
+
+QUICK_BENCHMARKS = ("gzip", "mcf", "gcc", "perl", "lbm", "hmmer")
+
+CONFIGS = (
+    ("conservative", WatchdogConfig.conservative_uaf()),
+    ("isa-assisted", WatchdogConfig.isa_assisted_uaf()),
+    ("no-lock-cache", WatchdogConfig.no_lock_cache()),
+    ("bounds-2uop", WatchdogConfig.full_safety_two_uops()),
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--all", action="store_true",
+                        help="run all twenty SPEC-like benchmarks")
+    parser.add_argument("--instructions", type=int, default=6000,
+                        help="dynamic macro instructions per run")
+    args = parser.parse_args()
+
+    benchmarks = benchmark_names() if args.all else QUICK_BENCHMARKS
+    simulator = Simulator()
+
+    header = f"{'benchmark':<10}" + "".join(f"{name:>16}" for name, _ in CONFIGS)
+    print(header)
+    print("-" * len(header))
+
+    overheads = {name: [] for name, _ in CONFIGS}
+    for benchmark in benchmarks:
+        baseline = simulator.run_benchmark(benchmark, WatchdogConfig.disabled(),
+                                           instructions=args.instructions, seed=7)
+        row = f"{benchmark:<10}"
+        for name, config in CONFIGS:
+            outcome = simulator.run_benchmark(benchmark, config,
+                                              instructions=args.instructions, seed=7)
+            overhead = outcome.cycles / baseline.cycles - 1.0
+            overheads[name].append(overhead)
+            row += f"{100 * overhead:>15.1f}%"
+        print(row)
+
+    print("-" * len(header))
+    row = f"{'geo.mean':<10}"
+    for name, _ in CONFIGS:
+        row += f"{100 * geometric_mean_overhead(overheads[name]):>15.1f}%"
+    print(row)
+    print("\npaper geo-means: conservative 25%, ISA-assisted 15%, "
+          "no lock cache 24%, bounds (2 uops) 24%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so the package installs in environments without the ``wheel`` package
+(where PEP 660 editable installs are unavailable): ``python setup.py develop``
+or ``pip install -e . --no-build-isolation`` both work.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

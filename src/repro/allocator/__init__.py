@@ -1,0 +1,24 @@
+"""Runtime memory allocator substrate.
+
+The paper modifies the standard DL-malloc allocator so that every heap
+allocation informs the hardware of its identifier via the new ``setident``
+instruction and every deallocation retrieves and invalidates it via
+``getident`` (Figure 3a/3b, §9.1).  The runtime also detects double frees and
+frees of never-allocated pointers by checking identifier validity inside
+``free()`` (§4.1).
+
+* :mod:`repro.allocator.dlmalloc` — a boundary-tag, size-binned free-list
+  allocator managing the heap segment (the substrate DL-malloc stands in for),
+* :mod:`repro.allocator.runtime` — the instrumented ``malloc``/``free``
+  runtime that couples the allocator to the Watchdog identifier machinery.
+"""
+
+from repro.allocator.dlmalloc import DlMallocAllocator, AllocatorStats
+from repro.allocator.runtime import InstrumentedRuntime, AllocationRecord
+
+__all__ = [
+    "DlMallocAllocator",
+    "AllocatorStats",
+    "InstrumentedRuntime",
+    "AllocationRecord",
+]

@@ -1,0 +1,43 @@
+"""Baseline checkers and the Table 1 comparison harness.
+
+Watchdog is compared (Table 1, §2) against two families of prior approaches:
+
+* **location-based** checking — an auxiliary structure records which
+  addresses are currently allocated; accesses to unallocated addresses are
+  flagged.  Cheap, but blind to use-after-free once the memory has been
+  reallocated (:mod:`repro.baselines.location_based`),
+* **identifier-based** checking — each allocation gets a unique identifier
+  checked on every access.  Comprehensive, but software implementations are
+  slow and inline-metadata variants are broken by arbitrary casts
+  (:mod:`repro.baselines.sw_identifier`).
+
+:mod:`repro.baselines.comparison` replays a common set of error scenarios
+through every checker model to *derive* the qualitative columns of Table 1
+(comprehensive detection, safety under arbitrary casts) rather than assert
+them, and attaches the representative overhead/instrumentation data the paper
+tabulates.
+"""
+
+from repro.baselines.location_based import LocationBasedChecker
+from repro.baselines.sw_identifier import (
+    DisjointIdentifierChecker,
+    InlineIdentifierChecker,
+)
+from repro.baselines.comparison import (
+    ApproachSummary,
+    ComparisonHarness,
+    MemoryEvent,
+    EventKind,
+    standard_scenarios,
+)
+
+__all__ = [
+    "LocationBasedChecker",
+    "DisjointIdentifierChecker",
+    "InlineIdentifierChecker",
+    "ApproachSummary",
+    "ComparisonHarness",
+    "MemoryEvent",
+    "EventKind",
+    "standard_scenarios",
+]

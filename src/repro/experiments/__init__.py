@@ -1,0 +1,49 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function returning an
+:class:`~repro.sim.results.ExperimentResult` plus an ``EXPECTED`` mapping
+recording the paper's headline numbers, so EXPERIMENTS.md and the benchmark
+harness can print paper-vs-measured side by side.
+
+| Module | Reproduces |
+|---|---|
+| ``table1_comparison`` | Table 1 — approach comparison |
+| ``table2_config`` | Table 2 — simulated processor configuration |
+| ``fig5_pointer_identification`` | Figure 5 — pointer-op classification |
+| ``fig7_runtime_overhead`` | Figure 7 — runtime overhead (+ §9.3 ideal-shadow ablation) |
+| ``fig8_uop_overhead`` | Figure 8 — µop overhead breakdown |
+| ``fig9_lock_cache`` | Figure 9 — lock location cache ablation |
+| ``fig10_memory_overhead`` | Figure 10 — shadow memory overhead (words / pages) |
+| ``fig11_bounds_checking`` | Figure 11 — bounds-checking configurations |
+| ``sec92_juliet`` | §9.2 — Juliet CWE-416/562 detection |
+| ``ablations`` | extra ablations (copy elimination, ideal shadow) |
+"""
+
+from repro.experiments import (
+    ablations,
+    fig5_pointer_identification,
+    fig7_runtime_overhead,
+    fig8_uop_overhead,
+    fig9_lock_cache,
+    fig10_memory_overhead,
+    fig11_bounds_checking,
+    sec92_juliet,
+    table1_comparison,
+    table2_config,
+)
+from repro.experiments.common import ExperimentSettings, OverheadSweep
+
+__all__ = [
+    "ExperimentSettings",
+    "OverheadSweep",
+    "ablations",
+    "fig5_pointer_identification",
+    "fig7_runtime_overhead",
+    "fig8_uop_overhead",
+    "fig9_lock_cache",
+    "fig10_memory_overhead",
+    "fig11_bounds_checking",
+    "sec92_juliet",
+    "table1_comparison",
+    "table2_config",
+]

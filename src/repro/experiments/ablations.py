@@ -1,0 +1,54 @@
+"""Additional ablations of Watchdog's design choices.
+
+Two ablations quantify design decisions DESIGN.md calls out:
+
+* **idealized shadow accesses** (§9.3): metadata accesses occupy cache ports
+  but never miss and never displace program data.  The paper reports the
+  ISA-assisted overhead drops from 15% to 11%, showing cache pressure is a
+  real but not dominant cost.
+* **rename-time copy elimination** (§6.2): disabling the map-table remapping
+  forces an explicit metadata-copy µop for every single-source pointer
+  operation (moves, add-immediate), showing how much front-end bandwidth the
+  renaming optimization saves.  (The paper motivates the optimization
+  qualitatively; this ablation provides the quantitative counterpart.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import WatchdogConfig
+from repro.experiments.common import ExperimentSettings, OverheadSweep
+from repro.sim.results import ExperimentResult
+from repro.sim.stats import geometric_mean_overhead
+
+EXPECTED = {
+    "isa_assisted_geomean_percent": 15.0,
+    "ideal_shadow_geomean_percent": 11.0,
+}
+
+BASELINE_WD = "isa-assisted"
+IDEAL_SHADOW = "ideal-shadow"
+NO_COPY_ELIMINATION = "no-copy-elimination"
+
+
+def run(settings: Optional[ExperimentSettings] = None,
+        sweep: Optional[OverheadSweep] = None) -> ExperimentResult:
+    """Run the idealized-shadow and copy-elimination ablations."""
+    sweep = sweep or OverheadSweep(settings)
+    configs = {
+        BASELINE_WD: WatchdogConfig.isa_assisted_uaf(),
+        IDEAL_SHADOW: WatchdogConfig.idealized_shadow(),
+        NO_COPY_ELIMINATION: WatchdogConfig.isa_assisted_uaf().with_(copy_elimination=False),
+    }
+    result = ExperimentResult(name="ablations")
+    for label, config in configs.items():
+        overheads = sweep.overheads(label, config)
+        for benchmark, overhead in overheads.items():
+            result.add_value(label, benchmark, 100.0 * overhead)
+        result.add_summary(f"{label}_geomean_percent",
+                           100.0 * geometric_mean_overhead(list(overheads.values())))
+    result.notes.append("paper: idealized shadow lowers ISA-assisted overhead "
+                        "from 15% to 11% (§9.3); copy elimination is this "
+                        "reproduction's added ablation")
+    return result

@@ -1,0 +1,95 @@
+"""Shared experiment infrastructure.
+
+All of the figure experiments follow the same pattern: run every benchmark
+under a baseline (Watchdog disabled) and under one or more Watchdog
+configurations, then compare cycles (Figures 7/9/11), µop counts (Figure 8),
+classification fractions (Figure 5) or footprints (Figure 10).  The
+:class:`OverheadSweep` performs those runs once and caches the outcomes so a
+single sweep can feed several figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import WatchdogConfig
+from repro.sim.simulator import SimulationOutcome, Simulator
+from repro.sim.stats import geometric_mean_overhead, percent_overhead
+from repro.workloads.profiles import benchmark_names
+
+#: Default dynamic macro-instruction count per benchmark run.  Large enough
+#: for cache/branch behaviour to settle, small enough to keep the full
+#: 20-benchmark sweeps fast; the benchmark harness can raise it.
+DEFAULT_INSTRUCTIONS = 8_000
+#: Default random seed for the synthetic workloads (reproducibility).
+DEFAULT_SEED = 7
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by all figure experiments."""
+
+    benchmarks: Tuple[str, ...] = tuple(benchmark_names())
+    instructions: int = DEFAULT_INSTRUCTIONS
+    seed: int = DEFAULT_SEED
+
+    @classmethod
+    def quick(cls, benchmarks: Optional[Sequence[str]] = None,
+              instructions: int = 3_000) -> "ExperimentSettings":
+        """A reduced setting for unit tests (few benchmarks, short traces)."""
+        chosen = tuple(benchmarks) if benchmarks else ("gzip", "mcf", "lbm", "gcc")
+        return cls(benchmarks=chosen, instructions=instructions)
+
+
+class OverheadSweep:
+    """Runs (benchmark × configuration) simulations and caches the outcomes."""
+
+    BASELINE = "baseline"
+
+    def __init__(self, settings: Optional[ExperimentSettings] = None,
+                 simulator: Optional[Simulator] = None):
+        self.settings = settings or ExperimentSettings()
+        self.simulator = simulator or Simulator()
+        self._outcomes: Dict[Tuple[str, str], SimulationOutcome] = {}
+
+    # -- running ---------------------------------------------------------------------
+    def outcome(self, benchmark: str, label: str,
+                config: WatchdogConfig) -> SimulationOutcome:
+        """Run (or fetch from cache) one benchmark under one configuration."""
+        key = (benchmark, label)
+        if key not in self._outcomes:
+            self._outcomes[key] = self.simulator.run_benchmark(
+                benchmark, config,
+                instructions=self.settings.instructions,
+                seed=self.settings.seed)
+        return self._outcomes[key]
+
+    def baseline(self, benchmark: str) -> SimulationOutcome:
+        return self.outcome(benchmark, self.BASELINE, WatchdogConfig.disabled())
+
+    def run_configs(self, configs: Dict[str, WatchdogConfig]) -> None:
+        """Pre-run every benchmark under every configuration (plus baseline)."""
+        for benchmark in self.settings.benchmarks:
+            self.baseline(benchmark)
+            for label, config in configs.items():
+                self.outcome(benchmark, label, config)
+
+    # -- derived values ------------------------------------------------------------------
+    def overhead(self, benchmark: str, label: str, config: WatchdogConfig) -> float:
+        """Fractional slowdown of ``config`` over the baseline."""
+        baseline = self.baseline(benchmark)
+        configured = self.outcome(benchmark, label, config)
+        return percent_overhead(baseline.cycles, configured.cycles)
+
+    def overheads(self, label: str, config: WatchdogConfig) -> Dict[str, float]:
+        """Per-benchmark fractional slowdowns for one configuration."""
+        return {benchmark: self.overhead(benchmark, label, config)
+                for benchmark in self.settings.benchmarks}
+
+    def geo_mean_overhead(self, label: str, config: WatchdogConfig) -> float:
+        return geometric_mean_overhead(list(self.overheads(label, config).values()))
+
+    @property
+    def benchmarks(self) -> Tuple[str, ...]:
+        return self.settings.benchmarks

@@ -1,0 +1,51 @@
+"""Figure 5: fraction of memory accesses classified as pointer operations.
+
+The paper reports that the conservative heuristic (§5.1) classifies 31% of
+memory accesses as potential pointer loads/stores on average, and that
+ISA-assisted identification (§5.2) reduces that to 18%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import WatchdogConfig
+from repro.experiments.common import ExperimentSettings, OverheadSweep
+from repro.sim.results import ExperimentResult
+from repro.sim.stats import arithmetic_mean
+
+#: Paper values (percent of memory accesses classified as pointer ops).
+EXPECTED = {
+    "conservative_avg_percent": 31.0,
+    "isa_assisted_avg_percent": 18.0,
+}
+
+CONSERVATIVE = "conservative"
+ISA_ASSISTED = "isa-assisted"
+
+
+def run(settings: Optional[ExperimentSettings] = None,
+        sweep: Optional[OverheadSweep] = None) -> ExperimentResult:
+    """Classify every benchmark's memory accesses under both policies."""
+    sweep = sweep or OverheadSweep(settings)
+    configs = {
+        CONSERVATIVE: WatchdogConfig.conservative_uaf(),
+        ISA_ASSISTED: WatchdogConfig.isa_assisted_uaf(),
+    }
+    result = ExperimentResult(name="fig5-pointer-identification")
+
+    for label, config in configs.items():
+        for benchmark in sweep.benchmarks:
+            outcome = sweep.outcome(benchmark, label, config)
+            assert outcome.pointer_stats is not None
+            fraction = outcome.pointer_stats.pointer_fraction
+            result.add_value(label, benchmark, 100.0 * fraction)
+
+    conservative_avg = arithmetic_mean(list(result.series[CONSERVATIVE].values()))
+    isa_avg = arithmetic_mean(list(result.series[ISA_ASSISTED].values()))
+    result.add_summary("conservative_avg_percent", conservative_avg)
+    result.add_summary("isa_assisted_avg_percent", isa_avg)
+    result.notes.append(
+        f"paper: conservative {EXPECTED['conservative_avg_percent']:.0f}%, "
+        f"ISA-assisted {EXPECTED['isa_assisted_avg_percent']:.0f}% (averages)")
+    return result

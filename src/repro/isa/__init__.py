@@ -1,0 +1,49 @@
+"""Macro ISA and µop ISA used by the Watchdog reproduction.
+
+The paper's simulator decodes x86-64 macro instructions and cracks them into
+RISC-style µops (§9.1); Watchdog then injects additional µops for metadata
+propagation and checking (§3).  This package defines:
+
+* :mod:`repro.isa.registers` — architectural register file layout,
+* :mod:`repro.isa.instructions` — the macro instruction set, including the
+  pointer-annotated load/store variants used by ISA-assisted pointer
+  identification (§5.2),
+* :mod:`repro.isa.microops` — the µop vocabulary, including the Watchdog
+  check / shadow-load / shadow-store / metadata-select µops,
+* :mod:`repro.isa.decoder` — the cracker from macro instructions to µops.
+"""
+
+from repro.isa.registers import (
+    ArchReg,
+    INT_REGS,
+    FP_REGS,
+    STACK_POINTER,
+    RegisterFile,
+)
+from repro.isa.instructions import (
+    Opcode,
+    Instruction,
+    AccessSize,
+    is_memory_opcode,
+    is_load_opcode,
+    is_store_opcode,
+)
+from repro.isa.microops import MicroOp, UopKind
+from repro.isa.decoder import Decoder
+
+__all__ = [
+    "ArchReg",
+    "INT_REGS",
+    "FP_REGS",
+    "STACK_POINTER",
+    "RegisterFile",
+    "Opcode",
+    "Instruction",
+    "AccessSize",
+    "is_memory_opcode",
+    "is_load_opcode",
+    "is_store_opcode",
+    "MicroOp",
+    "UopKind",
+    "Decoder",
+]

@@ -1,0 +1,174 @@
+"""The Table 2 memory hierarchy.
+
+Models the cache hierarchy the paper simulates (§9.1, Table 2):
+
+* 32KB 8-way L1 data cache (3 cycles) with a 4-stream prefetcher,
+* 256KB 8-way private L2 (10 cycles) with an 8-stream prefetcher,
+* 16MB 16-way shared L3 (25 cycles),
+* DRAM behind a dual-channel DDR bus (16ns latency, ~50 core cycles at
+  3.2GHz; we charge an end-to-end miss penalty),
+* an optional 4KB 8-way *lock location cache* that is a peer of the L1 caches
+  and is accessed by check µops and identifier allocation/deallocation
+  (§4.2, Figure 4c), with its own small TLB,
+* a small L1 data TLB; shadow accesses translate like normal accesses (§3.3).
+
+The hierarchy returns a latency per access and accumulates hit/miss
+statistics.  Distinct access *classes* let the Watchdog core route shadow
+metadata accesses and lock-location accesses appropriately, including the
+"idealized shadow accesses" ablation of §9.3 (metadata accesses occupy ports
+but never miss and never displace data).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.prefetcher import PrefetcherConfig, StreamPrefetcher
+from repro.memory.tlb import TLB, TLBConfig
+
+
+class PortKind(enum.Enum):
+    """Which L1-level structure an access uses.
+
+    ``DATA`` — the normal L1 data cache (program loads/stores and, when the
+    lock location cache is disabled, check µops too).
+    ``LOCK`` — the dedicated lock location cache.
+    ``SHADOW`` — shadow metadata accesses; they use the L1 data cache but are
+    tagged separately so the ideal-shadow ablation can special-case them.
+    """
+
+    DATA = "data"
+    LOCK = "lock"
+    SHADOW = "shadow"
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache geometry and latency parameters (defaults follow Table 2)."""
+
+    l1d: CacheConfig = CacheConfig("L1D", size_bytes=32 * 1024, associativity=8,
+                                   block_bytes=64, hit_latency=3)
+    l2: CacheConfig = CacheConfig("L2", size_bytes=256 * 1024, associativity=8,
+                                  block_bytes=64, hit_latency=10)
+    l3: CacheConfig = CacheConfig("L3", size_bytes=16 * 1024 * 1024, associativity=16,
+                                  block_bytes=64, hit_latency=25)
+    lock_cache: CacheConfig = CacheConfig("LockLoc", size_bytes=4 * 1024,
+                                          associativity=8, block_bytes=64,
+                                          hit_latency=3)
+    l1d_prefetcher: PrefetcherConfig = PrefetcherConfig(streams=4, depth=4)
+    l2_prefetcher: PrefetcherConfig = PrefetcherConfig(streams=8, depth=16)
+    l1_tlb: TLBConfig = TLBConfig("DTLB", entries=64, miss_penalty=20)
+    lock_tlb: TLBConfig = TLBConfig("LockTLB", entries=16, miss_penalty=20)
+    dram_latency: int = 200
+    #: Whether the dedicated lock location cache exists (Figure 9 ablation).
+    lock_cache_enabled: bool = True
+    #: Idealize shadow accesses: occupy ports, never miss, never allocate
+    #: (§9.3 cache-pressure isolation experiment).
+    ideal_shadow: bool = False
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated access counts by class."""
+
+    accesses: Dict[str, int] = field(default_factory=dict)
+    total_latency: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, latency: int) -> None:
+        self.accesses[kind] = self.accesses.get(kind, 0) + 1
+        self.total_latency[kind] = self.total_latency.get(kind, 0) + latency
+
+    def average_latency(self, kind: str) -> float:
+        count = self.accesses.get(kind, 0)
+        if count == 0:
+            return 0.0
+        return self.total_latency[kind] / count
+
+
+class MemoryHierarchy:
+    """L1D + lock location cache + L2 + L3 + DRAM with prefetchers and TLBs."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None):
+        self.config = config or HierarchyConfig()
+        self.l1d = Cache(self.config.l1d)
+        self.l2 = Cache(self.config.l2)
+        self.l3 = Cache(self.config.l3)
+        self.lock_cache = Cache(self.config.lock_cache)
+        self.l1d_prefetcher = StreamPrefetcher(self.config.l1d_prefetcher, self.l1d)
+        self.l2_prefetcher = StreamPrefetcher(self.config.l2_prefetcher, self.l2)
+        self.dtlb = TLB(self.config.l1_tlb)
+        self.lock_tlb = TLB(self.config.lock_tlb)
+        self.stats = HierarchyStats()
+
+    # -- lower levels --------------------------------------------------------
+    def _access_beyond_l1(self, address: int, is_write: bool) -> int:
+        """Access L2, then L3, then DRAM; return the added latency."""
+        l2_result = self.l2.access(address, is_write)
+        if l2_result.hit:
+            return self.config.l2.hit_latency
+        self.l2_prefetcher.on_miss(address)
+        l3_result = self.l3.access(address, is_write)
+        if l3_result.hit:
+            return self.config.l2.hit_latency + self.config.l3.hit_latency
+        return (self.config.l2.hit_latency + self.config.l3.hit_latency
+                + self.config.dram_latency)
+
+    # -- public access points --------------------------------------------------
+    def access(self, address: int, is_write: bool = False,
+               port: PortKind = PortKind.DATA) -> int:
+        """Perform one access and return its total latency in cycles."""
+        if port is PortKind.LOCK and self.config.lock_cache_enabled:
+            return self._lock_access(address, is_write)
+        if port is PortKind.SHADOW and self.config.ideal_shadow:
+            # Idealized shadow: occupies a port (charged by the pipeline
+            # model) but always behaves like an L1 hit and allocates nothing.
+            latency = self.config.l1d.hit_latency
+            self.stats.record("shadow-ideal", latency)
+            return latency
+        return self._data_access(address, is_write, port)
+
+    def _data_access(self, address: int, is_write: bool, port: PortKind) -> int:
+        latency = self.dtlb.access(address)
+        result = self.l1d.access(address, is_write)
+        latency += result.latency
+        if not result.hit:
+            self.l1d_prefetcher.on_miss(address)
+            latency += self._access_beyond_l1(address, is_write)
+        # The shared L3 is inclusive (as on the Sandy Bridge parts Table 2
+        # mirrors): every demanded line is tracked there, so lines evicted
+        # from the private levels — or installed into them by the prefetchers
+        # — are found again in the L3 rather than re-fetched from memory.
+        self.l3.install(address)
+        kind = "shadow" if port is PortKind.SHADOW else (
+            "lock-on-data" if port is PortKind.LOCK else "data")
+        self.stats.record(kind, latency)
+        return latency
+
+    def _lock_access(self, address: int, is_write: bool) -> int:
+        latency = self.lock_tlb.access(address)
+        result = self.lock_cache.access(address, is_write)
+        latency += result.latency
+        if not result.hit:
+            latency += self._access_beyond_l1(address, is_write)
+        self.l3.install(address)
+        self.stats.record("lock", latency)
+        return latency
+
+    # -- statistics ----------------------------------------------------------
+    def lock_cache_mpki(self, instructions: int) -> float:
+        """Lock location cache misses per 1000 instructions (§9.3)."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.lock_cache.misses / instructions
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1d, self.l2, self.l3, self.lock_cache):
+            cache.reset_stats()
+        self.dtlb.reset_stats()
+        self.lock_tlb.reset_stats()
+        self.l1d_prefetcher.reset_stats()
+        self.l2_prefetcher.reset_stats()
+        self.stats = HierarchyStats()

@@ -1,0 +1,78 @@
+"""Stream prefetchers.
+
+Table 2 lists per-level stream prefetchers (2 streams of 4 blocks at L1I,
+4 streams of 4 blocks at L1D, 8 streams of 16 blocks at L2).  The model is a
+classic next-N-blocks stream prefetcher: on a demand miss it looks for an
+existing stream tracking that region, and if the miss extends the stream it
+installs the next ``depth`` blocks into the target cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import Cache
+
+
+@dataclass(frozen=True)
+class PrefetcherConfig:
+    """Number of concurrently tracked streams and blocks fetched per trigger."""
+
+    streams: int = 4
+    depth: int = 4
+
+    def __post_init__(self) -> None:
+        if self.streams <= 0 or self.depth <= 0:
+            raise ConfigurationError("prefetcher streams/depth must be positive")
+
+
+@dataclass
+class _Stream:
+    last_block: int
+    direction: int = 1
+
+
+class StreamPrefetcher:
+    """Next-N-blocks stream prefetcher feeding one cache."""
+
+    def __init__(self, config: PrefetcherConfig, cache: Cache):
+        self.config = config
+        self.cache = cache
+        self._streams: List[_Stream] = []
+        self.prefetches_issued = 0
+
+    def on_miss(self, address: int) -> None:
+        """Notify the prefetcher of a demand miss at ``address``."""
+        block = self.cache.block_address(address)
+        stream = self._find_stream(block)
+        if stream is None:
+            self._allocate_stream(block)
+            return
+        stream.direction = 1 if block >= stream.last_block else -1
+        stream.last_block = block
+        self._issue(stream)
+
+    def _find_stream(self, block: int) -> Optional[_Stream]:
+        for stream in self._streams:
+            if abs(block - stream.last_block) <= self.config.depth:
+                return stream
+        return None
+
+    def _allocate_stream(self, block: int) -> None:
+        if len(self._streams) >= self.config.streams:
+            self._streams.pop(0)
+        self._streams.append(_Stream(last_block=block))
+
+    def _issue(self, stream: _Stream) -> None:
+        block_bytes = self.cache.config.block_bytes
+        for i in range(1, self.config.depth + 1):
+            target_block = stream.last_block + i * stream.direction
+            if target_block < 0:
+                continue
+            self.cache.install(target_block * block_bytes)
+            self.prefetches_issued += 1
+
+    def reset_stats(self) -> None:
+        self.prefetches_issued = 0

@@ -1,0 +1,70 @@
+"""Simple TLB model.
+
+Each L1-level cache in Figure 4c has its own TLB, including the lock location
+cache ("has its own (small) TLB", §4.2).  Shadow-space accesses go through the
+usual address translation machinery (§3.3), so they consult a TLB too.  The
+model is a fully-associative LRU translation cache; a miss charges a fixed
+page-walk penalty.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.pages import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """TLB geometry and miss penalty."""
+
+    name: str
+    entries: int = 64
+    miss_penalty: int = 20
+    page_bytes: int = PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.page_bytes <= 0:
+            raise ConfigurationError(f"tlb {self.name}: sizes must be positive")
+
+
+class TLB:
+    """Fully-associative LRU TLB."""
+
+    def __init__(self, config: TLBConfig):
+        self.config = config
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def page_of(self, address: int) -> int:
+        return address // self.config.page_bytes
+
+    def access(self, address: int) -> int:
+        """Translate ``address``; return the added latency (0 on a hit)."""
+        page = self.page_of(address)
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            self.hits += 1
+            return 0
+        self.misses += 1
+        if len(self._entries) >= self.config.entries:
+            self._entries.popitem(last=False)
+        self._entries[page] = True
+        return self.config.miss_penalty
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = 0
+
+    def flush(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,25 @@
+"""Out-of-order core timing model.
+
+The paper evaluates Watchdog on a simulated out-of-order x86-64 core whose
+parameters mirror Intel's Sandy Bridge (Table 2).  This package provides:
+
+* :mod:`repro.pipeline.config` — the Table 2 machine configuration,
+* :mod:`repro.pipeline.resources` — structural resources (issue ports,
+  functional units, load/store ports, the lock-location cache port),
+* :mod:`repro.pipeline.core` — a trace-driven, dependence- and
+  structure-limited timing model that replays the dynamic µop stream
+  (baseline µops plus Watchdog-injected µops) and reports cycle counts.
+"""
+
+from repro.pipeline.config import MachineConfig, FunctionalUnitConfig
+from repro.pipeline.resources import PortPool, FunctionalUnits
+from repro.pipeline.core import OutOfOrderCore, TimingResult
+
+__all__ = [
+    "MachineConfig",
+    "FunctionalUnitConfig",
+    "PortPool",
+    "FunctionalUnits",
+    "OutOfOrderCore",
+    "TimingResult",
+]

@@ -1,0 +1,36 @@
+"""Program model: a small C-like layer on top of the macro ISA.
+
+The paper's workloads are C programs (SPEC benchmarks, the Juliet test suite,
+exploit proof-of-concepts).  This package provides the equivalent substrate
+for the reproduction:
+
+* :mod:`repro.program.ir` — programs as functions made of operations
+  (macro instructions, ``malloc``/``free`` runtime calls, stack allocations,
+  calls and returns),
+* :mod:`repro.program.builder` — a fluent builder API used by the examples,
+  the Juliet-style generator and the tests,
+* :mod:`repro.program.compiler` — the pointer-annotation pass that produces
+  the ISA-assisted load/store variants (§5.2) from the program's dataflow,
+* :mod:`repro.program.machine` — the functional machine that executes a
+  program under a given Watchdog configuration, raising
+  :class:`~repro.errors.MemorySafetyViolation` on detected errors and
+  optionally recording a dynamic trace for the timing model.
+"""
+
+from repro.program.ir import OpKind, Operation, Function, Program
+from repro.program.builder import ProgramBuilder, FunctionBuilder
+from repro.program.compiler import annotate_pointer_hints, PointerAnnotationStats
+from repro.program.machine import Machine, ExecutionResult
+
+__all__ = [
+    "OpKind",
+    "Operation",
+    "Function",
+    "Program",
+    "ProgramBuilder",
+    "FunctionBuilder",
+    "annotate_pointer_hints",
+    "PointerAnnotationStats",
+    "Machine",
+    "ExecutionResult",
+]

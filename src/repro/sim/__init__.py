@@ -1,0 +1,43 @@
+"""Simulation harness: traces, statistics, sampling, and the top-level simulator.
+
+* :mod:`repro.sim.trace` — dynamic-trace representation (macro-level
+  :class:`DynamicOp`, timed µops) and the expander that turns a dynamic trace
+  into the µop stream the timing model replays,
+* :mod:`repro.sim.stats` — statistic helpers (geometric mean, overhead math),
+* :mod:`repro.sim.sampling` — the periodic-sampling schedule of §9.1,
+* :mod:`repro.sim.results` — result records shared by experiments and benches,
+* :mod:`repro.sim.simulator` — the top-level object gluing workload,
+  Watchdog configuration, functional execution and timing together.
+"""
+
+from repro.sim.trace import DynamicOp, TimedUop, TraceExpander
+from repro.sim.stats import geometric_mean, percent_overhead, OverheadReport
+from repro.sim.sampling import SamplingConfig, SamplingSchedule
+from repro.sim.results import BenchmarkResult, ExperimentResult
+
+
+def __getattr__(name):
+    # ``Simulator``/``SimulationOutcome`` are imported lazily: the simulator
+    # module depends on the pipeline package, which itself imports
+    # :mod:`repro.sim.trace`; importing it eagerly here would create an import
+    # cycle when the pipeline package is loaded first.
+    if name in ("Simulator", "SimulationOutcome"):
+        from repro.sim import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
+
+__all__ = [
+    "DynamicOp",
+    "TimedUop",
+    "TraceExpander",
+    "geometric_mean",
+    "percent_overhead",
+    "OverheadReport",
+    "SamplingConfig",
+    "SamplingSchedule",
+    "BenchmarkResult",
+    "ExperimentResult",
+    "Simulator",
+    "SimulationOutcome",
+]

@@ -1,0 +1,75 @@
+"""Result records shared by the experiment drivers and the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class BenchmarkResult:
+    """One (benchmark, configuration) timing outcome."""
+
+    benchmark: str
+    configuration: str
+    cycles: int
+    total_uops: int
+    injected_uops: int
+    memory_accesses: int
+    lock_cache_misses: int = 0
+    l1d_misses: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.total_uops / self.cycles if self.cycles else 0.0
+
+    def overhead_vs(self, baseline: "BenchmarkResult") -> float:
+        """Slowdown relative to ``baseline`` as a fraction."""
+        return self.cycles / baseline.cycles - 1.0
+
+
+@dataclass
+class ExperimentResult:
+    """A full experiment: per-benchmark values for one or more series."""
+
+    name: str
+    #: series name -> benchmark name -> value (meaning depends on experiment).
+    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: free-form summary numbers (e.g. averages) keyed by label.
+    summary: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_value(self, series: str, benchmark: str, value: float) -> None:
+        self.series.setdefault(series, {})[benchmark] = value
+
+    def add_summary(self, label: str, value: float) -> None:
+        self.summary[label] = value
+
+    def benchmarks(self) -> List[str]:
+        names: List[str] = []
+        for values in self.series.values():
+            for benchmark in values:
+                if benchmark not in names:
+                    names.append(benchmark)
+        return names
+
+    def format_table(self, value_format: str = "{:>10.1f}") -> str:
+        """Render the experiment as a text table (one row per benchmark)."""
+        series_names = list(self.series)
+        header = f"{'benchmark':<12}" + "".join(f"{name:>18}" for name in series_names)
+        lines = [header]
+        for benchmark in self.benchmarks():
+            row = f"{benchmark:<12}"
+            for name in series_names:
+                value = self.series[name].get(benchmark)
+                cell = value_format.format(value) if value is not None else " " * 10
+                row += f"{cell:>18}"
+            lines.append(row)
+        if self.summary:
+            lines.append("-" * len(header))
+            for label, value in self.summary.items():
+                lines.append(f"{label:<30} {value:.3f}")
+        for note in self.notes:
+            lines.append(f"# {note}")
+        return "\n".join(lines)

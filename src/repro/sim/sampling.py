@@ -1,0 +1,91 @@
+"""Periodic sampling schedule (§9.1).
+
+The paper simulates 2% of each benchmark using periodic samples of 10 million
+instructions, each preceded by 480 million instructions of fast-forward and
+10 million of cache/branch-predictor warm-up.  The reproduction's synthetic
+traces are much shorter, but the same mechanism is provided (scaled down by
+default) so experiments can declare which portion of a trace is measured and
+which is warm-up only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Lengths (in dynamic instructions) of each phase of a sampling period."""
+
+    fast_forward: int = 480_000
+    warmup: int = 10_000
+    sample: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.sample <= 0 or self.warmup < 0 or self.fast_forward < 0:
+            raise ConfigurationError("sampling lengths must be non-negative, sample > 0")
+
+    @property
+    def period(self) -> int:
+        return self.fast_forward + self.warmup + self.sample
+
+    @property
+    def sampled_fraction(self) -> float:
+        """Fraction of the program actually measured (2% in the paper)."""
+        return self.sample / self.period
+
+    @classmethod
+    def paper(cls) -> "SamplingConfig":
+        """The §9.1 schedule: 480M fast-forward, 10M warm-up, 10M sample."""
+        return cls(fast_forward=480_000_000, warmup=10_000_000, sample=10_000_000)
+
+    @classmethod
+    def unsampled(cls, length: int) -> "SamplingConfig":
+        """Measure everything (used for short functional traces)."""
+        return cls(fast_forward=0, warmup=0, sample=max(length, 1))
+
+
+class SamplingSchedule:
+    """Classifies every instruction index into skip / warm-up / measure."""
+
+    SKIP = "skip"
+    WARMUP = "warmup"
+    MEASURE = "measure"
+
+    def __init__(self, config: SamplingConfig):
+        self.config = config
+
+    def phase_of(self, index: int) -> str:
+        """Phase of the instruction at dynamic index ``index``."""
+        position = index % self.config.period
+        if position < self.config.fast_forward:
+            return self.SKIP
+        if position < self.config.fast_forward + self.config.warmup:
+            return self.WARMUP
+        return self.MEASURE
+
+    def measured_indices(self, total: int) -> Iterator[int]:
+        """Indices of measured instructions within ``total`` instructions."""
+        for index in range(total):
+            if self.phase_of(index) == self.MEASURE:
+                yield index
+
+    def windows(self, total: int) -> List[Tuple[int, int, str]]:
+        """Contiguous (start, end, phase) windows covering ``[0, total)``."""
+        result: List[Tuple[int, int, str]] = []
+        start = 0
+        current = self.phase_of(0) if total else self.MEASURE
+        for index in range(1, total):
+            phase = self.phase_of(index)
+            if phase != current:
+                result.append((start, index, current))
+                start, current = index, phase
+        if total:
+            result.append((start, total, current))
+        return result
+
+    def measured_count(self, total: int) -> int:
+        return sum(1 for _ in self.measured_indices(total))

@@ -1,0 +1,224 @@
+"""Top-level simulator.
+
+Glues the pieces together for the two kinds of runs the evaluation needs:
+
+* **workload timing runs** (Figures 5, 7, 8, 9, 10, 11): a synthetic
+  SPEC-like workload generates a dynamic trace; the trace expander injects
+  Watchdog µops and annotates addresses; the out-of-order core replays the
+  timed µop stream against the Table 2 memory hierarchy and reports cycles,
+* **program detection runs** (§9.2, the examples, the attack scenarios): a
+  program built with the builder executes on the functional machine under a
+  Watchdog configuration, and the result records whether a violation was
+  detected (optionally also recording a dynamic trace so the same run can be
+  timed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.core.config import WatchdogConfig
+from repro.core.pointer_id import PointerIdStats
+from repro.core.uop_injection import InjectionStats
+from repro.memory.pages import PageAccountant
+from repro.memory.shadow import ShadowSpace
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import OutOfOrderCore, TimingResult
+from repro.program.ir import Program
+from repro.program.machine import ExecutionResult, Machine
+from repro.sim.trace import DynamicOp, TraceExpander
+from repro.workloads.profiles import BenchmarkProfile, profile_by_name
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+@dataclass
+class SimulationOutcome:
+    """Everything one simulation run produced."""
+
+    benchmark: str
+    configuration: str
+    timing: Optional[TimingResult] = None
+    injection: Optional[InjectionStats] = None
+    pointer_stats: Optional[PointerIdStats] = None
+    pages: Optional[PageAccountant] = None
+    detection: Optional[ExecutionResult] = None
+
+    @property
+    def cycles(self) -> int:
+        if self.timing is None:
+            return 0
+        return self.timing.cycles
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.detection and self.detection.detected)
+
+
+class Simulator:
+    """Runs workloads and programs under Watchdog configurations."""
+
+    def __init__(self, machine: Optional[MachineConfig] = None):
+        self.machine = machine or MachineConfig()
+
+    # -- workload timing runs ---------------------------------------------------------
+    def run_trace(self, trace: Iterable[DynamicOp], config: WatchdogConfig,
+                  name: str = "trace",
+                  warmup_trace: Optional[Iterable[DynamicOp]] = None,
+                  workload: Optional[SyntheticWorkload] = None) -> SimulationOutcome:
+        """Expand and time an already-generated dynamic trace.
+
+        ``warmup_trace`` mirrors the §9.1 methodology: its accesses prime the
+        cache hierarchy (data, shadow and lock accesses alike) but are not
+        timed and do not contribute to any statistic.  When the workload
+        itself is provided, its whole live working set (data lines, lock
+        locations and — for metadata-maintaining configurations — shadow
+        lines) is additionally pre-touched, which is what the long warm-up
+        windows of the paper's sampling methodology achieve.
+        """
+        pages = PageAccountant()
+        expander = TraceExpander(config, pages=pages)
+        core = OutOfOrderCore(machine=self.machine, watchdog=config)
+        if workload is not None:
+            self._warm_working_set(core, config, workload)
+        if warmup_trace is not None:
+            self._warm_hierarchy(core, config, warmup_trace)
+        timing = core.simulate(expander.iter_expand(trace))
+        return SimulationOutcome(
+            benchmark=name,
+            configuration=self._config_name(config),
+            timing=timing,
+            injection=expander.stats,
+            pointer_stats=expander.pointer_id_stats,
+            pages=pages,
+        )
+
+    @staticmethod
+    def _warm_working_set(core: OutOfOrderCore, config: WatchdogConfig,
+                          workload: SyntheticWorkload) -> None:
+        """Touch the workload's entire live working set before measuring.
+
+        Brings every data line (and, when metadata is maintained, every
+        corresponding shadow line) and every lock location at least into the
+        lower cache levels, so the measured window contains only the misses a
+        steady-state execution would see (capacity/conflict misses and lines
+        belonging to objects allocated during the window).
+        """
+        from repro.memory.hierarchy import PortKind
+
+        shadow = ShadowSpace(metadata_words=config.metadata_words)
+        warm_shadow = config.enabled and not config.ideal_shadow
+        shadow_step = 64 // config.metadata_words
+        # Shadow lines are touched first and data lines afterwards, so that —
+        # as in steady state — the frequently-used data stays resident in the
+        # upper levels while the (colder) metadata sits behind it in the
+        # hierarchy rather than displacing it.
+        if warm_shadow:
+            for line in workload.working_set_lines():
+                for step in range(config.metadata_words):
+                    core.hierarchy.access(
+                        shadow.shadow_address(line + step * shadow_step),
+                        is_write=False, port=PortKind.SHADOW)
+        if config.enabled:
+            for lock in workload.lock_locations():
+                core.hierarchy.access(lock, is_write=False, port=PortKind.LOCK)
+        for line in workload.working_set_lines():
+            core.hierarchy.access(line, is_write=False, port=PortKind.DATA)
+        core.hierarchy.reset_stats()
+
+    @staticmethod
+    def _warm_hierarchy(core: OutOfOrderCore, config: WatchdogConfig,
+                        warmup_trace: Iterable[DynamicOp]) -> None:
+        """Prime caches/TLBs with the warm-up portion of a workload.
+
+        Every data, lock and shadow access of the warm-up stream is replayed
+        into the hierarchy.  In addition, for configurations that maintain
+        shadow metadata, the shadow line of every warmed *data* line is
+        touched as well: during the paper's 10M-instruction warm-up windows
+        the metadata working set is fully resident, and short synthetic
+        traces would otherwise charge the measured window with artificial
+        cold misses on first-touched shadow lines.
+        """
+        from repro.memory.hierarchy import PortKind
+
+        warm_expander = TraceExpander(config)
+        warm_shadow = config.enabled and not config.ideal_shadow
+        # A 64-byte data line shadows onto ``metadata_words`` consecutive
+        # shadow lines; touch all of them so no artificial first-touch miss
+        # remains in the measured window.
+        shadow_step = 64 // config.metadata_words
+        for timed in warm_expander.iter_expand(warmup_trace):
+            if timed.address is None:
+                continue
+            core.hierarchy.access(timed.address, is_write=timed.is_write,
+                                  port=timed.port)
+            if warm_shadow and timed.port is PortKind.DATA:
+                line_base = timed.address & ~63
+                for step in range(config.metadata_words):
+                    shadow_address = warm_expander.shadow.shadow_address(
+                        line_base + step * shadow_step)
+                    core.hierarchy.access(shadow_address, is_write=False,
+                                          port=PortKind.SHADOW)
+        core.hierarchy.reset_stats()
+
+    def run_benchmark(self, benchmark: str, config: WatchdogConfig,
+                      instructions: int = 20_000, seed: int = 0,
+                      warmup_instructions: Optional[int] = None) -> SimulationOutcome:
+        """Generate and time one SPEC-like synthetic benchmark."""
+        profile = profile_by_name(benchmark)
+        return self.run_profile(profile, config, instructions=instructions, seed=seed,
+                                warmup_instructions=warmup_instructions)
+
+    def run_profile(self, profile: BenchmarkProfile, config: WatchdogConfig,
+                    instructions: int = 20_000, seed: int = 0,
+                    warmup_instructions: Optional[int] = None) -> SimulationOutcome:
+        """Generate and time a workload from an explicit profile.
+
+        The workload generator produces one continuous dynamic stream; the
+        first ``warmup_instructions`` (default: as long as the measured
+        portion) warm the caches and the remainder is measured, mirroring the
+        warm-up/measure structure of the paper's sampling methodology.
+        """
+        workload = SyntheticWorkload(profile, seed=seed)
+        if warmup_instructions is None:
+            warmup_instructions = max(instructions // 4, 1_000)
+        warmup = workload.trace(warmup_instructions) if warmup_instructions else None
+        outcome = self.run_trace(workload.generate(instructions), config,
+                                 name=profile.name, warmup_trace=warmup,
+                                 workload=workload)
+        return outcome
+
+    # -- program detection runs --------------------------------------------------------
+    def run_program(self, program: Program, config: WatchdogConfig,
+                    with_timing: bool = False) -> SimulationOutcome:
+        """Execute a program functionally; optionally also time its trace."""
+        machine = Machine(config, record_trace=with_timing)
+        detection = machine.run(program)
+        outcome = SimulationOutcome(
+            benchmark=program.entry,
+            configuration=self._config_name(config),
+            detection=detection,
+            injection=machine.watchdog.injection_stats,
+            pointer_stats=machine.watchdog.pointer_id_stats,
+            pages=machine.watchdog.pages,
+        )
+        if with_timing and detection.trace:
+            timed = self.run_trace(detection.trace, config, name=program.entry)
+            outcome.timing = timed.timing
+        return outcome
+
+    # -- helpers --------------------------------------------------------------------------
+    @staticmethod
+    def _config_name(config: WatchdogConfig) -> str:
+        if not config.enabled:
+            return "baseline"
+        parts = [config.pointer_identification.value]
+        if config.bounds_enabled:
+            parts.append(config.bounds_mode.value)
+        if not config.lock_cache_enabled:
+            parts.append("no-lock-cache")
+        if config.ideal_shadow:
+            parts.append("ideal-shadow")
+        if not config.copy_elimination:
+            parts.append("no-copy-elim")
+        return "+".join(parts)

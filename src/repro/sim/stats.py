@@ -1,0 +1,85 @@
+"""Statistic helpers shared by experiments and benchmarks.
+
+The paper reports per-benchmark percentage slowdowns and geometric means
+("Geo. mean" in Figures 7, 9 and 11) and arithmetic averages for the µop and
+classification breakdowns (Figures 5 and 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import SimulationError
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values; empty input returns 0."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise SimulationError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geometric_mean_overhead(overheads: Sequence[float]) -> float:
+    """Geometric mean of percentage overheads expressed as fractions.
+
+    Overheads are slowdown ratios minus one, which may legitimately be zero
+    or slightly negative for individual benchmarks; the mean is taken over
+    the ratios (1 + overhead) as the paper does, then converted back.
+    """
+    ratios = [1.0 + o for o in overheads]
+    if not ratios:
+        return 0.0
+    return geometric_mean(ratios) - 1.0
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average; empty input returns 0."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def percent_overhead(baseline_cycles: float, configured_cycles: float) -> float:
+    """Slowdown of a configuration over its baseline, as a fraction."""
+    if baseline_cycles <= 0:
+        raise SimulationError("baseline cycles must be positive")
+    return configured_cycles / baseline_cycles - 1.0
+
+
+@dataclass
+class OverheadReport:
+    """Per-benchmark overhead values for one configuration (one Figure series)."""
+
+    name: str
+    overheads: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, benchmark: str, overhead: float) -> None:
+        self.overheads[benchmark] = overhead
+
+    def get(self, benchmark: str) -> float:
+        return self.overheads[benchmark]
+
+    @property
+    def benchmarks(self) -> List[str]:
+        return list(self.overheads)
+
+    def geo_mean(self) -> float:
+        return geometric_mean_overhead(list(self.overheads.values()))
+
+    def mean(self) -> float:
+        return arithmetic_mean(list(self.overheads.values()))
+
+    def as_percent(self) -> Dict[str, float]:
+        return {name: 100.0 * value for name, value in self.overheads.items()}
+
+    def format_table(self, label: str = "overhead") -> str:
+        """Render the series as paper-style rows (benchmark, percentage)."""
+        lines = [f"{'benchmark':<12} {label:>12}"]
+        for name, value in self.overheads.items():
+            lines.append(f"{name:<12} {100.0 * value:>11.1f}%")
+        lines.append(f"{'Geo. mean':<12} {100.0 * self.geo_mean():>11.1f}%")
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Per-benchmark workload profiles.
+
+The paper evaluates twenty C SPEC benchmarks (§9.1).  Since the benchmarks
+themselves cannot be executed here, each is represented by a profile
+describing the dynamic characteristics that determine Watchdog's overhead:
+
+* how memory-intensive the benchmark is (fraction of instructions that are
+  loads/stores) and how its accesses are sized/typed,
+* how many of those accesses are 64-bit integer accesses (what conservative
+  identification must treat as pointer operations, §5.1) and how many
+  actually move pointers (what ISA-assisted identification marks, §5.2) —
+  these per-benchmark fractions are calibrated to Figure 5,
+* allocation and call intensity (identifier management work),
+* working-set size and access locality (cache behaviour of data, shadow and
+  lock accesses),
+* branch density and misprediction rate (baseline ILP).
+
+The numbers are approximations of each benchmark's published behaviour
+chosen so the reproduction exhibits the same *pattern* across benchmarks as
+the paper's figures: pointer-dense integer codes (mcf, gcc, perl, twolf)
+incur the largest overheads while float-heavy array codes (lbm, milc, art,
+equake) incur little.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Dynamic characteristics of one SPEC-like benchmark."""
+
+    name: str
+    #: Fraction of dynamic instructions that access memory.
+    memory_fraction: float
+    #: Of the memory accesses, fraction that are loads (rest are stores).
+    load_fraction: float
+    #: Of the memory accesses, fraction that are 64-bit integer accesses
+    #: (conservative pointer candidates, Figure 5 left bars).
+    word_integer_fraction: float
+    #: Of the memory accesses, fraction that actually move pointers
+    #: (ISA-assisted classification, Figure 5 right bars).
+    pointer_fraction: float
+    #: Of the memory accesses, fraction that are floating-point.
+    fp_access_fraction: float
+    #: Fraction of non-memory instructions that are floating-point arithmetic.
+    fp_compute_fraction: float
+    #: Fraction of dynamic instructions that are conditional branches.
+    branch_fraction: float
+    #: Branch misprediction rate.
+    mispredict_rate: float
+    #: Function calls per 1000 instructions.
+    calls_per_kilo: float
+    #: Heap allocations per 1000 instructions.
+    allocs_per_kilo: float
+    #: Typical allocation size in bytes.
+    typical_alloc_bytes: int
+    #: Number of live allocations forming the working set.
+    working_set_objects: int
+    #: Probability that a memory access hits the recently-touched hot subset.
+    temporal_locality: float
+    #: Probability that a memory access continues a sequential stride.
+    spatial_locality: float
+
+    def __post_init__(self) -> None:
+        fractions = (self.memory_fraction, self.load_fraction, self.pointer_fraction,
+                     self.word_integer_fraction, self.fp_access_fraction,
+                     self.branch_fraction, self.mispredict_rate,
+                     self.temporal_locality, self.spatial_locality)
+        if any(not 0.0 <= value <= 1.0 for value in fractions):
+            raise ConfigurationError(f"profile {self.name}: fractions must be in [0,1]")
+        if self.pointer_fraction > self.word_integer_fraction:
+            raise ConfigurationError(
+                f"profile {self.name}: pointer accesses cannot exceed word-integer accesses")
+
+
+def _p(name: str, mem: float, load: float, word: float, ptr: float, fp_acc: float,
+       fp_cmp: float, br: float, misp: float, calls: float, allocs: float,
+       alloc_bytes: int, objects: int, temporal: float, spatial: float) -> BenchmarkProfile:
+    return BenchmarkProfile(
+        name=name, memory_fraction=mem, load_fraction=load,
+        word_integer_fraction=word, pointer_fraction=ptr, fp_access_fraction=fp_acc,
+        fp_compute_fraction=fp_cmp, branch_fraction=br, mispredict_rate=misp,
+        calls_per_kilo=calls, allocs_per_kilo=allocs, typical_alloc_bytes=alloc_bytes,
+        working_set_objects=objects, temporal_locality=temporal, spatial_locality=spatial)
+
+
+#: The twenty benchmarks of §9.1, ordered as the figures list them.
+SPEC_PROFILES: Tuple[BenchmarkProfile, ...] = (
+    # name      mem   load  word  ptr   fpacc fpcmp br    misp  calls allocs bytes objs  temp  spat
+    _p("lbm",    0.38, 0.62, 0.07, 0.03, 0.70, 0.55, 0.04, 0.01, 0.2,  0.01,  4096, 512,  0.45, 0.95),
+    _p("comp",   0.27, 0.68, 0.17, 0.07, 0.02, 0.05, 0.14, 0.05, 0.6,  0.05,  256,  96,   0.93, 0.85),
+    _p("gzip",   0.29, 0.66, 0.19, 0.08, 0.01, 0.04, 0.15, 0.06, 0.8,  0.05,  512,  96,   0.93, 0.85),
+    _p("milc",   0.36, 0.64, 0.12, 0.05, 0.65, 0.50, 0.05, 0.02, 0.5,  0.02,  2048, 512,  0.50, 0.92),
+    _p("bzip2",  0.30, 0.65, 0.21, 0.11, 0.01, 0.03, 0.15, 0.07, 0.7,  0.04,  1024, 96,   0.90, 0.85),
+    _p("ammp",   0.34, 0.66, 0.26, 0.15, 0.40, 0.35, 0.09, 0.03, 1.5,  0.20,  192,  384,  0.86, 0.78),
+    _p("go",     0.27, 0.70, 0.33, 0.19, 0.00, 0.02, 0.18, 0.09, 2.5,  0.10,  128,  192,  0.92, 0.72),
+    _p("sjeng",  0.26, 0.69, 0.32, 0.17, 0.00, 0.02, 0.18, 0.09, 3.0,  0.08,  128,  192,  0.92, 0.72),
+    _p("equake", 0.36, 0.65, 0.24, 0.13, 0.45, 0.40, 0.08, 0.03, 1.0,  0.30,  512,  384,  0.80, 0.86),
+    _p("h264",   0.34, 0.64, 0.31, 0.17, 0.10, 0.15, 0.12, 0.05, 2.0,  0.15,  512,  160,  0.90, 0.85),
+    _p("ijpeg",  0.30, 0.64, 0.26, 0.15, 0.05, 0.10, 0.12, 0.04, 1.5,  0.12,  768,  160,  0.88, 0.86),
+    _p("gobmk",  0.28, 0.69, 0.36, 0.21, 0.00, 0.02, 0.19, 0.10, 3.0,  0.12,  160,  256,  0.90, 0.70),
+    _p("art",    0.33, 0.66, 0.14, 0.07, 0.55, 0.45, 0.07, 0.02, 0.5,  0.05,  2048, 448,  0.55, 0.90),
+    _p("twolf",  0.30, 0.68, 0.45, 0.29, 0.05, 0.08, 0.16, 0.08, 2.5,  0.40,  96,   512,  0.86, 0.62),
+    _p("hmmer",  0.37, 0.63, 0.29, 0.16, 0.02, 0.05, 0.10, 0.03, 1.0,  0.10,  384,  128,  0.92, 0.88),
+    _p("vpr",    0.31, 0.67, 0.43, 0.27, 0.08, 0.10, 0.15, 0.07, 2.5,  0.35,  128,  384,  0.87, 0.65),
+    _p("mcf",    0.33, 0.70, 0.57, 0.40, 0.00, 0.01, 0.17, 0.09, 1.5,  0.50,  192,  2048, 0.60, 0.50),
+    _p("mesa",   0.32, 0.63, 0.29, 0.16, 0.30, 0.30, 0.09, 0.03, 2.0,  0.15,  640,  192,  0.90, 0.84),
+    _p("gcc",    0.32, 0.68, 0.52, 0.36, 0.00, 0.02, 0.18, 0.09, 4.0,  0.80,  144,  640,  0.84, 0.62),
+    _p("perl",   0.33, 0.67, 0.55, 0.39, 0.00, 0.02, 0.19, 0.08, 5.0,  1.00,  128,  512,  0.85, 0.64),
+)
+
+_BY_NAME: Dict[str, BenchmarkProfile] = {profile.name: profile for profile in SPEC_PROFILES}
+
+
+def profile_by_name(name: str) -> BenchmarkProfile:
+    """Look up one of the twenty SPEC-like profiles by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise ConfigurationError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def benchmark_names() -> List[str]:
+    """Benchmark names in the order the paper's figures list them."""
+    return [profile.name for profile in SPEC_PROFILES]

@@ -1,0 +1,358 @@
+"""Synthetic SPEC-like workload generator.
+
+Generates a dynamic macro-instruction trace whose mix matches a
+:class:`~repro.workloads.profiles.BenchmarkProfile`: memory intensity,
+pointer density, allocation/call behaviour, locality and branch behaviour.
+The generator drives the *real* instrumented runtime and identifier machinery
+to obtain concrete heap addresses and lock locations, so the trace exercises
+the same allocator, shadow-address and lock-location code paths that a real
+program would — only the instruction selection is synthetic.
+
+The produced :class:`~repro.sim.trace.DynamicOp` stream is what the trace
+expander and the out-of-order timing model consume for the Figure 5/7/8/9/10/11
+experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.allocator.runtime import AllocationRecord, InstrumentedRuntime
+from repro.core.identifier import IdentifierTable
+from repro.isa.instructions import AccessSize, Instruction, Opcode, PointerHint
+from repro.isa.registers import ArchReg, fp_reg, int_reg
+from repro.memory.address_space import AddressSpace
+from repro.sim.trace import DynamicOp
+from repro.workloads.profiles import BenchmarkProfile
+
+#: Registers used to hold addresses (pointers into live objects).
+ADDRESS_REGS = tuple(int_reg(i) for i in range(1, 7))
+#: Registers used for integer data values.
+VALUE_REGS = tuple(int_reg(i) for i in range(7, 13))
+#: Registers used for floating point data.
+FP_REGS = tuple(fp_reg(i) for i in range(0, 6))
+
+#: Number of ALU instructions emitted to stand in for the allocator's own
+#: work on each malloc/free (the bulk of BASELINE_*_INSTRUCTIONS is loop code
+#: we do not need to model instruction-by-instruction, but a handful of
+#: dependent ALU ops preserves the front-end cost).
+RUNTIME_CALL_ALU_OPS = 6
+
+
+@dataclass
+class _LiveObject:
+    """A live heap object the generator can direct accesses at."""
+
+    record: AllocationRecord
+    cursor: int = 0
+    #: Whether this object is part of a pointer-rich data structure (linked
+    #: structures, pointer arrays).  Pointer loads/stores are directed at
+    #: these objects; plain data accesses go anywhere.  Real programs keep
+    #: pointers in a subset of their objects, which is what bounds the shadow
+    #: footprint (Figure 10).
+    pointer_rich: bool = False
+
+    @property
+    def base(self) -> int:
+        return self.record.base
+
+    @property
+    def size(self) -> int:
+        return self.record.size
+
+    @property
+    def lock(self) -> int:
+        return self.record.metadata.identifier.lock
+
+
+class SyntheticWorkload:
+    """Generates dynamic traces with a given benchmark's characteristics."""
+
+    #: Fraction of memory accesses directed at the global segment (always
+    #: valid global identifier, §7) rather than heap objects.
+    GLOBAL_ACCESS_FRACTION = 0.15
+    #: Span of the frequently-touched global data (bytes).
+    GLOBAL_SPAN_BYTES = 8 * 1024
+    #: Number of recently-touched heap objects forming the hot set.
+    HOT_SET_OBJECTS = 8
+    #: Upper bound on the pool of heap objects cold accesses may reach within
+    #: one phase; the pool slides over the full working set as objects churn,
+    #: mimicking program phase behaviour instead of uniformly random traffic.
+    COLD_POOL_OBJECTS = 192
+
+    def __init__(self, profile: BenchmarkProfile, seed: int = 0):
+        self.profile = profile
+        self.seed = seed
+        self.rng = random.Random((hash(profile.name) & 0xFFFF) ^ seed)
+        self.memory = AddressSpace()
+        self.identifiers = IdentifierTable(self.memory)
+        self.runtime = InstrumentedRuntime(self.memory, identifiers=self.identifiers)
+        self._objects: List[_LiveObject] = []
+        self._hot: List[_LiveObject] = []
+        self._global_lock = self.identifiers.global_identifier().lock
+        self._global_cursor = 0
+        self._call_depth = 0
+        self._value_rotation = 0
+        self._allocation_counter = 0
+        self._populate_working_set()
+
+    # -- working set -------------------------------------------------------------
+    def _allocation_size(self) -> int:
+        typical = self.profile.typical_alloc_bytes
+        low = max(16, typical // 2)
+        high = typical * 2
+        return self.rng.randrange(low, high + 1, 16) or typical
+
+    def _populate_working_set(self) -> None:
+        for _ in range(self.profile.working_set_objects):
+            self._allocate_object()
+
+    def _allocate_object(self) -> _LiveObject:
+        pointer, metadata = self.runtime.malloc(self._allocation_size())
+        record = self.runtime.record_for(pointer)
+        assert record is not None
+        self._allocation_counter += 1
+        obj = _LiveObject(record=record,
+                          pointer_rich=(self._allocation_counter % 4 == 0))
+        self._objects.append(obj)
+        self._hot.append(obj)
+        if len(self._hot) > self.HOT_SET_OBJECTS:
+            self._hot.pop(0)
+        return obj
+
+    def _free_random_object(self) -> Optional[_LiveObject]:
+        if len(self._objects) <= max(4, self.profile.working_set_objects // 4):
+            return None
+        index = self.rng.randrange(len(self._objects))
+        obj = self._objects.pop(index)
+        if obj in self._hot:
+            self._hot.remove(obj)
+        self.runtime.free(obj.base, obj.record.metadata)
+        return obj
+
+    # -- register selection -----------------------------------------------------------
+    def _address_reg(self) -> ArchReg:
+        return ADDRESS_REGS[self.rng.randrange(len(ADDRESS_REGS))]
+
+    def _value_reg(self) -> ArchReg:
+        self._value_rotation = (self._value_rotation + 1) % len(VALUE_REGS)
+        return VALUE_REGS[self._value_rotation]
+
+    def _fp_reg(self) -> ArchReg:
+        return FP_REGS[self.rng.randrange(len(FP_REGS))]
+
+    # -- memory target selection --------------------------------------------------------
+    def _pick_object(self, pointer_access: bool = False) -> _LiveObject:
+        if self._hot and self.rng.random() < self.profile.temporal_locality:
+            candidates = self._hot
+            if pointer_access:
+                rich = [obj for obj in self._hot if obj.pointer_rich]
+                candidates = rich or self._hot
+            return candidates[self.rng.randrange(len(candidates))]
+        # Cold accesses stay within a bounded, slowly-drifting pool of recent
+        # objects (program phases) rather than the entire population.
+        pool = min(len(self._objects), self.COLD_POOL_OBJECTS)
+        start = len(self._objects) - pool
+        if pointer_access:
+            rich = [obj for obj in self._objects[start:] if obj.pointer_rich]
+            obj = rich[self.rng.randrange(len(rich))] if rich \
+                else self._objects[start + self.rng.randrange(pool)]
+        else:
+            obj = self._objects[start + self.rng.randrange(pool)]
+        self._hot.append(obj)
+        if len(self._hot) > self.HOT_SET_OBJECTS:
+            self._hot.pop(0)
+        return obj
+
+    def _heap_target(self, access_bytes: int, pointer_access: bool) -> Tuple[int, int]:
+        """Return (address, lock_address) for a heap access."""
+        obj = self._pick_object(pointer_access)
+        limit = max(obj.size - access_bytes, 1)
+        if self.rng.random() < self.profile.spatial_locality:
+            offset = obj.cursor % limit
+            obj.cursor = (obj.cursor + access_bytes) % max(obj.size, access_bytes)
+        else:
+            offset = self.rng.randrange(0, limit)
+        offset &= ~(access_bytes - 1)
+        return obj.base + offset, obj.lock
+
+    def _global_target(self, access_bytes: int, pointer_access: bool) -> Tuple[int, int]:
+        segment = self.memory.layout.globals_seg
+        span = min(segment.size, self.GLOBAL_SPAN_BYTES)
+        if pointer_access:
+            # Global pointers (tables of pointers, static linked structures)
+            # live in a compact region of the data segment.
+            span = min(span, 1024)
+        if self.rng.random() < self.profile.spatial_locality:
+            offset = self._global_cursor % span
+            self._global_cursor += access_bytes
+        else:
+            offset = self.rng.randrange(0, span)
+        offset &= ~(access_bytes - 1)
+        return segment.base + offset, self._global_lock
+
+    def _memory_target(self, access_bytes: int,
+                       pointer_access: bool = False) -> Tuple[int, int]:
+        if self.rng.random() < self.GLOBAL_ACCESS_FRACTION or not self._objects:
+            return self._global_target(access_bytes, pointer_access)
+        return self._heap_target(access_bytes, pointer_access)
+
+    # -- instruction emission --------------------------------------------------------------
+    def _memory_op(self) -> Iterator[DynamicOp]:
+        profile = self.profile
+        roll = self.rng.random()
+        is_load = self.rng.random() < profile.load_fraction
+
+        if roll < profile.pointer_fraction:
+            hint, size, fp = PointerHint.POINTER, AccessSize.WORD64, False
+        elif roll < profile.word_integer_fraction:
+            hint, size, fp = PointerHint.NOT_POINTER, AccessSize.WORD64, False
+        elif roll < profile.word_integer_fraction + profile.fp_access_fraction:
+            hint, size, fp = PointerHint.NOT_POINTER, AccessSize.WORD64, True
+        else:
+            hint, size, fp = PointerHint.NOT_POINTER, AccessSize.WORD32, False
+
+        address, lock = self._memory_target(int(size),
+                                            pointer_access=hint is PointerHint.POINTER)
+        address_reg = self._address_reg()
+
+        # Occasionally refresh the address register with pointer arithmetic so
+        # memory operations have realistic address dependences.
+        if self.rng.random() < 0.25:
+            yield DynamicOp(Instruction(Opcode.ADD_RI, dest=address_reg,
+                                        srcs=(address_reg,), imm=8))
+
+        if fp:
+            opcode = Opcode.FLOAD if is_load else Opcode.FSTORE
+            data_reg = self._fp_reg()
+        else:
+            opcode = Opcode.LOAD if is_load else Opcode.STORE
+            data_reg = self._value_reg()
+
+        if is_load:
+            inst = Instruction(opcode, dest=data_reg, srcs=(address_reg,),
+                               size=size, pointer_hint=hint)
+        else:
+            inst = Instruction(opcode, srcs=(address_reg, data_reg),
+                               size=size, pointer_hint=hint)
+        yield DynamicOp(inst, address=address, lock_address=lock)
+
+    def _alu_op(self) -> DynamicOp:
+        if self.rng.random() < self.profile.fp_compute_fraction:
+            dest, a, b = self._fp_reg(), self._fp_reg(), self._fp_reg()
+            return DynamicOp(Instruction(Opcode.FADD, dest=dest, srcs=(a, b)))
+        previous_dest = VALUE_REGS[self._value_rotation]
+        dest = self._value_reg()
+        if self.rng.random() < 0.35:
+            # A dependent chain: consume the most recently produced value.
+            a = previous_dest
+        else:
+            a = VALUE_REGS[(self._value_rotation + 2) % len(VALUE_REGS)]
+        b = VALUE_REGS[(self._value_rotation + 4) % len(VALUE_REGS)]
+        # Pointer-arithmetic-style single-source operations dominate; the
+        # two-register-source forms (which cost a select µop under Watchdog,
+        # §6.2) are a smaller slice, matching the "other" segment of Figure 8.
+        opcode = self.rng.choice((Opcode.ADD_RI, Opcode.ADD_RI, Opcode.AND_RR,
+                                  Opcode.XOR_RR, Opcode.ADD_RR, Opcode.MUL_RR))
+        if opcode is Opcode.ADD_RI:
+            return DynamicOp(Instruction(opcode, dest=dest, srcs=(a,), imm=1))
+        return DynamicOp(Instruction(opcode, dest=dest, srcs=(a, b)))
+
+    def _branch_op(self) -> DynamicOp:
+        mispredicted = self.rng.random() < self.profile.mispredict_rate
+        inst = Instruction(Opcode.BRANCH, srcs=(self._value_reg(),))
+        return DynamicOp(inst, mispredicted=mispredicted)
+
+    def _runtime_call_ops(self, lock_address: int, is_alloc: bool) -> Iterator[DynamicOp]:
+        """Instructions standing in for the malloc/free runtime body."""
+        for _ in range(RUNTIME_CALL_ALU_OPS):
+            yield self._alu_op()
+        pointer_reg = self._address_reg()
+        identifier_reg = VALUE_REGS[0]
+        if is_alloc:
+            inst = Instruction(Opcode.SETIDENT, srcs=(pointer_reg, identifier_reg))
+        else:
+            inst = Instruction(Opcode.GETIDENT, dest=identifier_reg, srcs=(pointer_reg,))
+        yield DynamicOp(inst, lock_address=lock_address)
+
+    def _allocation_event(self) -> Iterator[DynamicOp]:
+        # Keep the working set roughly constant: free one object for every
+        # allocation once the target population is reached.
+        freed = None
+        if len(self._objects) >= self.profile.working_set_objects:
+            freed = self._free_random_object()
+        if freed is not None:
+            yield from self._runtime_call_ops(freed.lock, is_alloc=False)
+        obj = self._allocate_object()
+        yield from self._runtime_call_ops(obj.lock, is_alloc=True)
+
+    def _call_event(self) -> Iterator[DynamicOp]:
+        if self._call_depth < 16 and self.rng.random() < 0.6:
+            self._call_depth += 1
+            yield DynamicOp(Instruction(Opcode.CALL))
+        elif self._call_depth > 0:
+            self._call_depth -= 1
+            yield DynamicOp(Instruction(Opcode.RET))
+
+    # -- the generator ------------------------------------------------------------------------
+    def generate(self, instructions: int) -> Iterator[DynamicOp]:
+        """Yield approximately ``instructions`` dynamic macro operations."""
+        profile = self.profile
+        emitted = 0
+        alloc_probability = profile.allocs_per_kilo / 1000.0
+        call_probability = profile.calls_per_kilo / 1000.0
+        while emitted < instructions:
+            roll = self.rng.random()
+            if roll < alloc_probability:
+                ops = list(self._allocation_event())
+            elif roll < alloc_probability + call_probability:
+                ops = list(self._call_event())
+            elif roll < alloc_probability + call_probability + profile.memory_fraction:
+                ops = list(self._memory_op())
+            elif roll < (alloc_probability + call_probability + profile.memory_fraction
+                         + profile.branch_fraction):
+                ops = [self._branch_op()]
+            else:
+                ops = [self._alu_op()]
+            for op in ops:
+                yield op
+                emitted += 1
+                if emitted >= instructions:
+                    return
+
+    def trace(self, instructions: int) -> List[DynamicOp]:
+        """Materialize a trace as a list (convenience for tests)."""
+        return list(self.generate(instructions))
+
+    # -- working-set introspection (used by the simulator's warm-up) --------------------
+    def working_set_lines(self) -> Iterator[int]:
+        """64-byte-aligned addresses of every line in the current working set.
+
+        Covers all live heap objects and the hot global span; the simulator
+        touches these (and their shadow lines) before the measured window so
+        that the measured window reflects steady state rather than the cold
+        start of a short synthetic trace.
+        """
+        for obj in self._objects:
+            line = obj.base & ~63
+            while line < obj.base + obj.size:
+                yield line
+                line += 64
+        segment = self.memory.layout.globals_seg
+        span = min(segment.size, self.GLOBAL_SPAN_BYTES)
+        line = segment.base
+        while line < segment.base + span:
+            yield line
+            line += 64
+
+    def lock_locations(self) -> Iterator[int]:
+        """Lock-location addresses of every live object plus the global lock."""
+        for obj in self._objects:
+            yield obj.lock
+        yield self._global_lock
+
+    @property
+    def live_objects(self) -> int:
+        return len(self._objects)

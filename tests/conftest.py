@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.config import WatchdogConfig
+from repro.core.watchdog import Watchdog
+from repro.memory.address_space import AddressSpace
+from repro.program.builder import ProgramBuilder
+from repro.program.machine import Machine
+
+
+@pytest.fixture
+def memory():
+    """A fresh simulated address space."""
+    return AddressSpace()
+
+
+@pytest.fixture
+def uaf_config():
+    """ISA-assisted use-after-free configuration (the paper's headline one)."""
+    return WatchdogConfig.isa_assisted_uaf()
+
+
+@pytest.fixture
+def conservative_config():
+    return WatchdogConfig.conservative_uaf()
+
+
+@pytest.fixture
+def bounds_config():
+    return WatchdogConfig.full_safety_two_uops()
+
+
+@pytest.fixture
+def disabled_config():
+    return WatchdogConfig.disabled()
+
+
+@pytest.fixture
+def watchdog(uaf_config):
+    """A Watchdog engine with a fresh address space."""
+    return Watchdog(uaf_config)
+
+
+@pytest.fixture
+def machine(uaf_config):
+    """A functional machine under the ISA-assisted UAF configuration."""
+    return Machine(uaf_config)
+
+
+def build_uaf_program():
+    """The Figure 1 (left) heap use-after-free program."""
+    builder = ProgramBuilder()
+    with builder.function("main") as main:
+        main.malloc("r1", 64)
+        main.mov("r2", "r1")
+        main.free("r1")
+        main.malloc("r3", 64)
+        main.load("r4", "r2")
+    return builder.build()
+
+
+def build_benign_program():
+    """A correct program: allocate, use, free."""
+    builder = ProgramBuilder()
+    with builder.function("main") as main:
+        main.malloc("r1", 64)
+        main.mov_imm("r8", 42)
+        main.store("r1", "r8", 8)
+        main.load("r9", "r1", 8)
+        main.free("r1")
+    return builder.build()

@@ -1,0 +1,113 @@
+"""Tests for the check unit (identifier validity + bounds, §3.2/§8)."""
+
+import pytest
+
+from repro.core.checks import CheckOutcome, CheckUnit
+from repro.core.identifier import IdentifierTable
+from repro.core.metadata import PointerMetadata
+from repro.errors import BoundsError, UseAfterFreeError
+
+
+@pytest.fixture
+def table(memory):
+    return IdentifierTable(memory)
+
+
+@pytest.fixture
+def checker(memory):
+    return CheckUnit(memory)
+
+
+class TestIdentifierCheck:
+    def test_valid_identifier_passes(self, checker, table):
+        metadata = PointerMetadata(identifier=table.allocate_identifier())
+        assert checker.identifier_check(metadata, 0x1000) is CheckOutcome.PASS
+
+    def test_invalidated_identifier_fails(self, checker, table):
+        ident = table.allocate_identifier()
+        table.invalidate(ident)
+        outcome = checker.identifier_check(PointerMetadata(identifier=ident), 0x1000)
+        assert outcome is CheckOutcome.USE_AFTER_FREE
+
+    def test_reallocation_does_not_mask_stale_identifier(self, checker, table):
+        stale = table.allocate_identifier()
+        table.invalidate(stale)
+        fresh = table.allocate_identifier()      # reuses the lock location
+        assert fresh.lock == stale.lock
+        outcome = checker.identifier_check(PointerMetadata(identifier=stale), 0x1000)
+        assert outcome is CheckOutcome.USE_AFTER_FREE
+
+    def test_missing_metadata_passes_by_default(self, checker):
+        assert checker.identifier_check(None, 0x1000) is CheckOutcome.PASS
+
+    def test_missing_metadata_flagged_in_strict_mode(self, memory):
+        checker = CheckUnit(memory, check_missing_metadata=True)
+        assert checker.identifier_check(None, 0x1000) is CheckOutcome.NO_METADATA
+
+    def test_stats_track_failures(self, checker, table):
+        ident = table.allocate_identifier()
+        table.invalidate(ident)
+        checker.identifier_check(PointerMetadata(identifier=ident), 0)
+        checker.identifier_check(PointerMetadata(identifier=table.allocate_identifier()), 0)
+        assert checker.stats.identifier_checks == 2
+        assert checker.stats.use_after_free == 1
+
+
+class TestBoundsCheck:
+    def test_in_bounds_passes(self, checker, table):
+        metadata = PointerMetadata(identifier=table.allocate_identifier(),
+                                   base=0x100, bound=0x200)
+        assert checker.bounds_check(metadata, 0x180, 8) is CheckOutcome.PASS
+
+    def test_out_of_bounds_fails(self, checker, table):
+        metadata = PointerMetadata(identifier=table.allocate_identifier(),
+                                   base=0x100, bound=0x200)
+        assert checker.bounds_check(metadata, 0x200, 8) is CheckOutcome.OUT_OF_BOUNDS
+
+    def test_metadata_without_bounds_passes(self, checker, table):
+        metadata = PointerMetadata(identifier=table.allocate_identifier())
+        assert checker.bounds_check(metadata, 0xFFFF, 8) is CheckOutcome.PASS
+
+
+class TestCombinedCheckAccess:
+    def test_raises_use_after_free(self, checker, table):
+        ident = table.allocate_identifier()
+        table.invalidate(ident)
+        with pytest.raises(UseAfterFreeError):
+            checker.check_access(PointerMetadata(identifier=ident), 0x1000, 8,
+                                 with_bounds=False)
+
+    def test_raises_bounds_error(self, checker, table):
+        metadata = PointerMetadata(identifier=table.allocate_identifier(),
+                                   base=0x100, bound=0x108)
+        with pytest.raises(BoundsError):
+            checker.check_access(metadata, 0x110, 8, with_bounds=True)
+
+    def test_identifier_failure_takes_priority_over_bounds(self, checker, table):
+        ident = table.allocate_identifier()
+        table.invalidate(ident)
+        metadata = PointerMetadata(identifier=ident, base=0x100, bound=0x108)
+        with pytest.raises(UseAfterFreeError):
+            checker.check_access(metadata, 0x110, 8, with_bounds=True)
+
+    def test_no_raise_mode_returns_outcome(self, checker, table):
+        ident = table.allocate_identifier()
+        table.invalidate(ident)
+        outcome = checker.check_access(PointerMetadata(identifier=ident), 0x0, 8,
+                                       with_bounds=False, raise_on_failure=False)
+        assert outcome is CheckOutcome.USE_AFTER_FREE
+
+    def test_bounds_ignored_when_disabled(self, checker, table):
+        metadata = PointerMetadata(identifier=table.allocate_identifier(),
+                                   base=0x100, bound=0x108)
+        outcome = checker.check_access(metadata, 0x110, 8, with_bounds=False)
+        assert outcome is CheckOutcome.PASS
+
+    def test_exception_carries_address_and_pc(self, checker, table):
+        ident = table.allocate_identifier()
+        table.invalidate(ident)
+        with pytest.raises(UseAfterFreeError) as excinfo:
+            checker.check_access(PointerMetadata(identifier=ident), 0xABC, 8,
+                                 with_bounds=False, pc=42)
+        assert excinfo.value.address == 0xABC
+        assert excinfo.value.pc == 42

@@ -1,0 +1,111 @@
+"""Tests for pointer load/store identification (§5)."""
+
+import pytest
+
+from repro.core.pointer_id import (
+    ConservativeIdentifier,
+    IsaAssistedIdentifier,
+    ProfileGuidedIdentifier,
+    make_identifier,
+)
+from repro.isa.instructions import AccessSize, Instruction, Opcode, PointerHint
+from repro.isa.registers import fp_reg, int_reg
+
+
+def word_load(hint=PointerHint.UNKNOWN):
+    return Instruction(Opcode.LOAD, dest=int_reg(1), srcs=(int_reg(2),),
+                       size=AccessSize.WORD64, pointer_hint=hint)
+
+
+def subword_load():
+    return Instruction(Opcode.LOAD, dest=int_reg(1), srcs=(int_reg(2),),
+                       size=AccessSize.WORD32)
+
+
+def fp_load():
+    return Instruction(Opcode.FLOAD, dest=fp_reg(0), srcs=(int_reg(2),))
+
+
+class TestConservative:
+    def test_word_integer_access_is_pointer_candidate(self):
+        assert ConservativeIdentifier().is_pointer_operation(word_load())
+
+    def test_subword_access_is_not(self):
+        assert not ConservativeIdentifier().is_pointer_operation(subword_load())
+
+    def test_fp_access_is_not(self):
+        assert not ConservativeIdentifier().is_pointer_operation(fp_load())
+
+    def test_annotations_are_ignored(self):
+        """Conservative mode models an unannotated binary (§5.1)."""
+        identifier = ConservativeIdentifier()
+        assert identifier.is_pointer_operation(word_load(PointerHint.NOT_POINTER))
+
+    def test_non_memory_instruction_rejected(self):
+        inst = Instruction(Opcode.ADD_RR, dest=int_reg(1), srcs=(int_reg(2), int_reg(3)))
+        assert not ConservativeIdentifier().is_pointer_operation(inst)
+
+    def test_stats_track_fraction(self):
+        identifier = ConservativeIdentifier()
+        identifier.is_pointer_operation(word_load())
+        identifier.is_pointer_operation(subword_load())
+        assert identifier.stats.memory_ops == 2
+        assert identifier.stats.pointer_fraction == pytest.approx(0.5)
+
+
+class TestIsaAssisted:
+    def test_pointer_annotation_respected(self):
+        assert IsaAssistedIdentifier().is_pointer_operation(word_load(PointerHint.POINTER))
+
+    def test_not_pointer_annotation_respected(self):
+        assert not IsaAssistedIdentifier().is_pointer_operation(
+            word_load(PointerHint.NOT_POINTER))
+
+    def test_unannotated_falls_back_to_conservative(self):
+        assert IsaAssistedIdentifier().is_pointer_operation(word_load(PointerHint.UNKNOWN))
+
+    def test_pointer_annotation_on_subword_ignored(self):
+        inst = Instruction(Opcode.LOAD, dest=int_reg(1), srcs=(int_reg(2),),
+                           size=AccessSize.WORD32, pointer_hint=PointerHint.POINTER)
+        assert not IsaAssistedIdentifier().is_pointer_operation(inst)
+
+    def test_isa_assisted_classifies_fewer_than_conservative(self):
+        conservative = ConservativeIdentifier()
+        assisted = IsaAssistedIdentifier()
+        stream = [word_load(PointerHint.POINTER), word_load(PointerHint.NOT_POINTER),
+                  word_load(PointerHint.NOT_POINTER), subword_load(), fp_load()]
+        for inst in stream:
+            conservative.is_pointer_operation(inst)
+            assisted.is_pointer_operation(inst)
+        assert assisted.stats.pointer_ops < conservative.stats.pointer_ops
+
+
+class TestProfileGuided:
+    def test_unprofiled_operation_is_not_pointer(self):
+        assert not ProfileGuidedIdentifier().is_pointer_operation(word_load())
+
+    def test_profiled_pointer_operation_recognised(self):
+        identifier = ProfileGuidedIdentifier()
+        inst = Instruction(Opcode.LOAD, dest=int_reg(1), srcs=(int_reg(2),),
+                           label="load_ptr_site")
+        identifier.observe(inst, touched_valid_metadata=True)
+        assert identifier.is_pointer_operation(inst)
+        assert identifier.pointer_static_operations == 1
+
+    def test_profiled_non_pointer_operation_excluded(self):
+        identifier = ProfileGuidedIdentifier()
+        inst = Instruction(Opcode.LOAD, dest=int_reg(1), srcs=(int_reg(2),),
+                           label="load_int_site")
+        identifier.observe(inst, touched_valid_metadata=False)
+        assert not identifier.is_pointer_operation(inst)
+        assert identifier.profiled_static_operations == 1
+
+    def test_static_id_uses_label_when_present(self):
+        inst = Instruction(Opcode.LOAD, dest=int_reg(1), srcs=(int_reg(2),), label="x")
+        assert ProfileGuidedIdentifier.static_id(inst) == "x"
+
+
+class TestFactory:
+    def test_make_identifier(self):
+        assert isinstance(make_identifier(True), ConservativeIdentifier)
+        assert isinstance(make_identifier(False), IsaAssistedIdentifier)

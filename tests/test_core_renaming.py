@@ -1,0 +1,140 @@
+"""Tests for decoupled register metadata and rename-time copy elimination (§6)."""
+
+import pytest
+
+from repro.core.config import WatchdogConfig
+from repro.core.renaming import INVALID_MAPPING, MetadataRenamer, ReferenceCountedPool
+from repro.errors import SimulationError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.microops import MicroOp, UopKind
+from repro.isa.registers import int_reg
+
+
+def alu_uop(inst):
+    return MicroOp(kind=UopKind.ALU, dest=inst.dest, srcs=inst.srcs, macro=inst)
+
+
+class TestReferenceCountedPool:
+    def test_allocate_and_release(self):
+        pool = ReferenceCountedPool(4)
+        reg = pool.allocate()
+        assert pool.live_registers == 1
+        assert pool.release(reg)
+        assert pool.live_registers == 0
+
+    def test_shared_register_freed_only_at_last_release(self):
+        pool = ReferenceCountedPool(4)
+        reg = pool.allocate()
+        pool.add_reference(reg)
+        assert not pool.release(reg)
+        assert pool.release(reg)
+
+    def test_exhaustion(self):
+        pool = ReferenceCountedPool(1)
+        pool.allocate()
+        with pytest.raises(SimulationError):
+            pool.allocate()
+
+    def test_invalid_mapping_ignored(self):
+        pool = ReferenceCountedPool(2)
+        pool.add_reference(INVALID_MAPPING)
+        assert not pool.release(INVALID_MAPPING)
+
+
+class TestCopyElimination:
+    def test_single_source_op_shares_physical_register(self):
+        """Figure 6: add-immediate copies metadata by remapping, no new register."""
+        renamer = MetadataRenamer()
+        source = int_reg(2)
+        renamer.assign_fresh(source)
+        inst = Instruction(Opcode.ADD_RI, dest=int_reg(3), srcs=(source,), imm=8)
+        result = renamer.rename(alu_uop(inst))
+        assert result.eliminated_copy
+        assert renamer.mapping_of(int_reg(3)) == renamer.mapping_of(source)
+        assert renamer.stats.metadata_copies_eliminated == 1
+
+    def test_shared_register_reference_counted(self):
+        renamer = MetadataRenamer()
+        source = int_reg(2)
+        mapping = renamer.assign_fresh(source)
+        inst = Instruction(Opcode.MOV_RR, dest=int_reg(3), srcs=(source,))
+        renamer.rename(alu_uop(inst))
+        assert renamer.pool.refcount(mapping) == 2
+        # Overwriting one of the two mappings must not free the register.
+        renamer.invalidate(int_reg(3))
+        assert renamer.pool.refcount(mapping) == 1
+        renamer.invalidate(source)
+        assert renamer.pool.refcount(mapping) == 0
+
+    def test_copy_from_invalid_source_propagates_invalid(self):
+        renamer = MetadataRenamer()
+        inst = Instruction(Opcode.MOV_RR, dest=int_reg(3), srcs=(int_reg(2),))
+        renamer.rename(alu_uop(inst))
+        assert renamer.mapping_of(int_reg(3)) == INVALID_MAPPING
+
+    def test_ablation_without_copy_elimination_allocates(self):
+        renamer = MetadataRenamer(WatchdogConfig(copy_elimination=False))
+        renamer.assign_fresh(int_reg(2))
+        inst = Instruction(Opcode.ADD_RI, dest=int_reg(3), srcs=(int_reg(2),), imm=8)
+        result = renamer.rename(alu_uop(inst))
+        assert not result.eliminated_copy
+        assert renamer.mapping_of(int_reg(3)) != renamer.mapping_of(int_reg(2))
+
+
+class TestInvalidationAndSelect:
+    def test_non_pointer_producer_invalidates(self):
+        """§6.2 case two: a divide's output can never be a valid pointer."""
+        renamer = MetadataRenamer()
+        renamer.assign_fresh(int_reg(3))
+        inst = Instruction(Opcode.DIV_RR, dest=int_reg(3), srcs=(int_reg(1), int_reg(2)))
+        renamer.rename(MicroOp(kind=UopKind.DIV, dest=int_reg(3), srcs=inst.srcs,
+                               macro=inst))
+        assert renamer.mapping_of(int_reg(3)) == INVALID_MAPPING
+        assert renamer.stats.metadata_invalidations >= 1
+
+    def test_mov_immediate_invalidates(self):
+        renamer = MetadataRenamer()
+        renamer.assign_fresh(int_reg(1))
+        inst = Instruction(Opcode.MOV_RI, dest=int_reg(1), imm=5)
+        renamer.rename(alu_uop(inst))
+        assert renamer.mapping_of(int_reg(1)) == INVALID_MAPPING
+
+    def test_select_uop_allocates_fresh_register(self):
+        """§6.2 case three: either source may be the pointer."""
+        renamer = MetadataRenamer()
+        inst = Instruction(Opcode.ADD_RR, dest=int_reg(3), srcs=(int_reg(1), int_reg(2)))
+        select = MicroOp(kind=UopKind.META_SELECT, meta_dest=int_reg(3),
+                         meta_srcs=inst.srcs, macro=inst, injected=True)
+        result = renamer.rename(select)
+        assert result.meta_dest != INVALID_MAPPING
+        assert renamer.stats.select_allocations == 1
+
+    def test_shadow_load_installs_fresh_mapping(self):
+        renamer = MetadataRenamer()
+        inst = Instruction(Opcode.LOAD, dest=int_reg(4), srcs=(int_reg(2),))
+        shadow = MicroOp(kind=UopKind.SHADOW_LOAD, meta_dest=int_reg(4),
+                         meta_srcs=(int_reg(2),), macro=inst, injected=True)
+        result = renamer.rename(shadow)
+        assert renamer.mapping_of(int_reg(4)) == result.meta_dest
+
+    def test_plain_load_invalidates_destination_metadata(self):
+        renamer = MetadataRenamer()
+        renamer.assign_fresh(int_reg(4))
+        inst = Instruction(Opcode.LOAD, dest=int_reg(4), srcs=(int_reg(2),))
+        renamer.rename(MicroOp(kind=UopKind.LOAD, dest=int_reg(4), srcs=(int_reg(2),),
+                               macro=inst))
+        assert renamer.mapping_of(int_reg(4)) == INVALID_MAPPING
+
+    def test_check_uop_reads_metadata_sources(self):
+        renamer = MetadataRenamer()
+        mapping = renamer.assign_fresh(int_reg(2))
+        check = MicroOp(kind=UopKind.CHECK, srcs=(int_reg(2),),
+                        meta_srcs=(int_reg(2),), injected=True)
+        result = renamer.rename(check)
+        assert result.meta_sources == (mapping,)
+
+    def test_mapped_registers_view(self):
+        renamer = MetadataRenamer()
+        renamer.assign_fresh(int_reg(2))
+        assert int_reg(2) in renamer.mapped_registers()
+        assert renamer.live_metadata_registers() == 1

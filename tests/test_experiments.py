@@ -1,0 +1,101 @@
+"""Tests for the experiment drivers (reduced scale)."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig5_pointer_identification,
+    fig7_runtime_overhead,
+    fig8_uop_overhead,
+    fig9_lock_cache,
+    fig10_memory_overhead,
+    fig11_bounds_checking,
+    sec92_juliet,
+    table1_comparison,
+    table2_config,
+)
+from repro.experiments.common import ExperimentSettings, OverheadSweep
+
+#: A deliberately small sweep so the whole experiment layer is exercised in
+#: seconds; the benchmarks/ directory runs the full-scale versions.
+QUICK = ExperimentSettings.quick(benchmarks=("gzip", "mcf", "lbm"), instructions=1500)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return OverheadSweep(QUICK)
+
+
+class TestTableExperiments:
+    def test_table1_matches_paper(self):
+        result = table1_comparison.run()
+        assert result.summary["mismatches_vs_paper"] == 0
+        assert "Watchdog" in table1_comparison.format_table()
+
+    def test_table2_matches_paper(self):
+        result = table2_config.run()
+        assert result.summary["mismatches_vs_paper"] == 0
+        assert "ROB" in table2_config.format_table()
+
+
+class TestFigureExperiments:
+    def test_fig5_conservative_exceeds_isa(self, sweep):
+        result = fig5_pointer_identification.run(sweep=sweep)
+        assert result.summary["conservative_avg_percent"] > \
+            result.summary["isa_assisted_avg_percent"]
+        assert set(result.series) == {"conservative", "isa-assisted"}
+
+    def test_fig7_overheads_positive_and_ordered(self, sweep):
+        result = fig7_runtime_overhead.run(sweep=sweep, include_ideal_shadow=False)
+        conservative = result.summary["conservative_geomean_percent"]
+        isa = result.summary["isa-assisted_geomean_percent"]
+        assert conservative > 0 and isa > 0
+        assert conservative >= isa * 0.9   # conservative should not be cheaper
+
+    def test_fig8_breakdown_sums_to_total(self, sweep):
+        result = fig8_uop_overhead.run(sweep=sweep)
+        for benchmark in result.series["total"]:
+            total = result.series["total"][benchmark]
+            parts = sum(result.series[s][benchmark]
+                        for s in ("checks", "pointer_loads", "pointer_stores", "other"))
+            assert total == pytest.approx(parts, rel=1e-6)
+        assert result.summary["checks_avg_percent"] > \
+            result.summary["pointer_loads_avg_percent"]
+
+    def test_fig9_lock_cache_helps(self, sweep):
+        result = fig9_lock_cache.run(sweep=sweep)
+        assert result.summary["without-lock-cache_geomean_percent"] > \
+            result.summary["with-lock-cache_geomean_percent"]
+
+    def test_fig10_pages_exceed_words(self, sweep):
+        result = fig10_memory_overhead.run(sweep=sweep)
+        assert result.summary["pages_geomean_percent"] >= \
+            result.summary["words_geomean_percent"] > 0
+
+    def test_fig11_bounds_ordering(self, sweep):
+        result = fig11_bounds_checking.run(sweep=sweep)
+        assert result.summary["bounds_two_uop_geomean_percent"] > \
+            result.summary["watchdog_geomean_percent"]
+        assert result.summary["bounds_fused_geomean_percent"] >= \
+            result.summary["watchdog_geomean_percent"] * 0.9
+
+    def test_ablations_include_copy_elimination(self, sweep):
+        result = ablations.run(sweep=sweep)
+        assert "no-copy-elimination_geomean_percent" in result.summary
+
+    def test_sec92_juliet_small_subset(self):
+        result = sec92_juliet.run(case_count=30, benign_count=15)
+        assert result.summary["detected"] == 30
+        assert result.summary["false_positives"] == 0
+
+
+class TestSweepInfrastructure:
+    def test_outcomes_are_cached(self, sweep):
+        from repro.core.config import WatchdogConfig
+        first = sweep.outcome("gzip", "isa-assisted", WatchdogConfig.isa_assisted_uaf())
+        second = sweep.outcome("gzip", "isa-assisted", WatchdogConfig.isa_assisted_uaf())
+        assert first is second
+
+    def test_quick_settings(self):
+        settings = ExperimentSettings.quick()
+        assert len(settings.benchmarks) < 20

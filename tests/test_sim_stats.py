@@ -1,0 +1,159 @@
+"""Tests for statistics helpers, sampling, results and trace expansion."""
+
+import pytest
+
+from repro.core.config import WatchdogConfig
+from repro.errors import SimulationError
+from repro.isa.instructions import Instruction, Opcode, PointerHint
+from repro.isa.microops import UopKind
+from repro.isa.registers import int_reg
+from repro.memory.hierarchy import PortKind
+from repro.sim.results import BenchmarkResult, ExperimentResult
+from repro.sim.sampling import SamplingConfig, SamplingSchedule
+from repro.sim.stats import (
+    OverheadReport,
+    arithmetic_mean,
+    geometric_mean,
+    geometric_mean_overhead,
+    percent_overhead,
+)
+from repro.sim.trace import DynamicOp, TraceExpander
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(SimulationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_overhead_handles_zero_and_negative(self):
+        assert geometric_mean_overhead([0.0, 0.0]) == pytest.approx(0.0)
+        assert geometric_mean_overhead([0.21, -0.01]) == pytest.approx(0.0945, abs=1e-3)
+
+    def test_percent_overhead(self):
+        assert percent_overhead(100, 115) == pytest.approx(0.15)
+        with pytest.raises(SimulationError):
+            percent_overhead(0, 10)
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert arithmetic_mean([]) == 0.0
+
+    def test_overhead_report(self):
+        report = OverheadReport("isa")
+        report.add("gcc", 0.2)
+        report.add("lbm", 0.1)
+        assert report.geo_mean() == pytest.approx(0.1489, abs=1e-3)
+        assert report.as_percent()["gcc"] == pytest.approx(20.0)
+        assert "Geo. mean" in report.format_table()
+
+
+class TestSampling:
+    def test_paper_schedule_measures_two_percent(self):
+        config = SamplingConfig.paper()
+        assert config.sampled_fraction == pytest.approx(0.02)
+
+    def test_phase_classification(self):
+        schedule = SamplingSchedule(SamplingConfig(fast_forward=10, warmup=5, sample=5))
+        assert schedule.phase_of(0) == SamplingSchedule.SKIP
+        assert schedule.phase_of(12) == SamplingSchedule.WARMUP
+        assert schedule.phase_of(17) == SamplingSchedule.MEASURE
+        assert schedule.phase_of(20) == SamplingSchedule.SKIP   # next period
+
+    def test_measured_count(self):
+        schedule = SamplingSchedule(SamplingConfig(fast_forward=10, warmup=5, sample=5))
+        assert schedule.measured_count(40) == 10
+
+    def test_windows_cover_range(self):
+        schedule = SamplingSchedule(SamplingConfig(fast_forward=4, warmup=2, sample=2))
+        windows = schedule.windows(16)
+        assert windows[0] == (0, 4, SamplingSchedule.SKIP)
+        assert windows[-1][1] == 16
+
+    def test_unsampled_config(self):
+        config = SamplingConfig.unsampled(100)
+        assert config.sampled_fraction == 1.0
+
+
+class TestResults:
+    def test_benchmark_result_overhead(self):
+        base = BenchmarkResult("gcc", "baseline", cycles=1000, total_uops=2000,
+                               injected_uops=0, memory_accesses=100)
+        wd = BenchmarkResult("gcc", "watchdog", cycles=1150, total_uops=2900,
+                             injected_uops=900, memory_accesses=100)
+        assert wd.overhead_vs(base) == pytest.approx(0.15)
+        assert wd.ipc == pytest.approx(2900 / 1150)
+
+    def test_experiment_result_table(self):
+        result = ExperimentResult("demo")
+        result.add_value("a", "gcc", 1.0)
+        result.add_value("b", "gcc", 2.0)
+        result.add_value("a", "lbm", 3.0)
+        result.add_summary("mean", 2.0)
+        table = result.format_table()
+        assert "gcc" in table and "lbm" in table and "mean" in table
+        assert result.benchmarks() == ["gcc", "lbm"]
+
+
+class TestTraceExpander:
+    def _expand(self, config, dop):
+        return TraceExpander(config).expand([dop])
+
+    def test_load_gets_addresses_for_check_and_shadow(self):
+        config = WatchdogConfig.isa_assisted_uaf()
+        inst = Instruction(Opcode.LOAD, dest=int_reg(1), srcs=(int_reg(2),),
+                           pointer_hint=PointerHint.POINTER)
+        timed = self._expand(config, DynamicOp(inst, address=0x2000_0000,
+                                               lock_address=0x6000_0000))
+        by_kind = {t.uop.kind: t for t in timed}
+        assert by_kind[UopKind.CHECK].address == 0x6000_0000
+        assert by_kind[UopKind.CHECK].port is PortKind.LOCK
+        assert by_kind[UopKind.LOAD].address == 0x2000_0000
+        assert by_kind[UopKind.SHADOW_LOAD].port is PortKind.SHADOW
+        assert by_kind[UopKind.SHADOW_LOAD].address is not None
+
+    def test_store_marks_writes(self):
+        config = WatchdogConfig.isa_assisted_uaf()
+        inst = Instruction(Opcode.STORE, srcs=(int_reg(2), int_reg(3)),
+                           pointer_hint=PointerHint.POINTER)
+        timed = self._expand(config, DynamicOp(inst, address=0x2000_0000,
+                                               lock_address=0x6000_0000))
+        writes = {t.uop.kind for t in timed if t.is_write}
+        assert UopKind.STORE in writes and UopKind.SHADOW_STORE in writes
+
+    def test_branch_misprediction_flag_propagates(self):
+        config = WatchdogConfig.disabled()
+        inst = Instruction(Opcode.BRANCH, srcs=(int_reg(1),))
+        timed = self._expand(config, DynamicOp(inst, mispredicted=True))
+        assert timed[0].mispredicted_branch
+
+    def test_bounds_check_uop_needs_no_memory(self):
+        config = WatchdogConfig.full_safety_two_uops()
+        inst = Instruction(Opcode.LOAD, dest=int_reg(1), srcs=(int_reg(2),),
+                           pointer_hint=PointerHint.NOT_POINTER)
+        timed = self._expand(config, DynamicOp(inst, address=0x2000_0000,
+                                               lock_address=0x6000_0000))
+        bounds = [t for t in timed if t.uop.kind is UopKind.BOUNDS_CHECK]
+        assert bounds and bounds[0].address is None
+
+    def test_copy_elimination_ablation_adds_uops(self):
+        base_config = WatchdogConfig.isa_assisted_uaf()
+        ablation = base_config.with_(copy_elimination=False)
+        inst = Instruction(Opcode.ADD_RI, dest=int_reg(1), srcs=(int_reg(2),), imm=8)
+        with_elim = TraceExpander(base_config).expand([DynamicOp(inst)])
+        without = TraceExpander(ablation).expand([DynamicOp(inst)])
+        assert len(without) == len(with_elim) + 1
+
+    def test_pages_accounting_hooked(self):
+        from repro.memory.pages import PageAccountant
+        pages = PageAccountant()
+        config = WatchdogConfig.isa_assisted_uaf()
+        expander = TraceExpander(config, pages=pages)
+        inst = Instruction(Opcode.LOAD, dest=int_reg(1), srcs=(int_reg(2),),
+                           pointer_hint=PointerHint.POINTER)
+        expander.expand([DynamicOp(inst, address=0x2000_0000, lock_address=0x6000_0000)])
+        assert pages.data_word_count > 0
+        assert pages.shadow_word_count > 0
