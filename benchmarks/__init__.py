@@ -1,0 +1,1 @@
+"""Benchmark harness package (see ``tests/__init__.py`` for why a package)."""

@@ -3,11 +3,18 @@
 Every figure benchmark runs the full twenty-benchmark sweep of the paper's
 evaluation.  The sweep is shared (session scope) so that configurations used
 by several figures (e.g. the ISA-assisted baseline appears in Figures 7, 8,
-9, 10 and 11) are simulated once.
+9, 10 and 11) are simulated once — and, thanks to the persistent result
+cache, at most once *ever* per (configuration, scale): warm reruns of the
+harness skip straight to the reports.
 
-Scale can be adjusted with the ``REPRO_BENCH_INSTRUCTIONS`` environment
-variable (default 8000 dynamic macro instructions per benchmark per
-configuration — the scale the reproduction was calibrated at).
+Environment knobs:
+
+* ``REPRO_BENCH_INSTRUCTIONS`` — dynamic macro instructions per benchmark per
+  configuration (default 8000, the scale the reproduction was calibrated at),
+* ``REPRO_BENCH_WORKERS`` — worker processes for the sweep engine (default
+  1 = serial; parallel runs produce identical results),
+* ``REPRO_BENCH_CACHE`` — result-cache directory; ``0`` disables caching
+  (default: ``benchmarks/.cache``).
 """
 
 import os
@@ -18,8 +25,13 @@ import pytest
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.common import ExperimentSettings, OverheadSweep  # noqa: E402
+from repro.sim.cache import ResultCache  # noqa: E402
+from repro.sim.engine import SweepEngine  # noqa: E402
 
 DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "8000"))
+DEFAULT_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+DEFAULT_CACHE_DIR = os.environ.get(
+    "REPRO_BENCH_CACHE", os.path.join(os.path.dirname(__file__), ".cache"))
 
 
 @pytest.fixture(scope="session")
@@ -29,15 +41,8 @@ def settings():
 
 @pytest.fixture(scope="session")
 def sweep(settings):
-    return OverheadSweep(settings)
-
-
-def report(result, expected):
-    """Print a paper-vs-measured report for one experiment."""
-    lines = [f"\n=== {result.name} ===", result.format_table(),
-             "--- paper vs measured ---"]
-    for key, paper_value in expected.items():
-        measured = result.summary.get(key)
-        measured_text = f"{measured:.1f}" if isinstance(measured, float) else str(measured)
-        lines.append(f"{key:<40} paper={paper_value:<8} measured={measured_text}")
-    print("\n".join(lines))
+    cache = None
+    if DEFAULT_CACHE_DIR and DEFAULT_CACHE_DIR != "0":
+        cache = ResultCache(DEFAULT_CACHE_DIR)
+    engine = SweepEngine(workers=DEFAULT_WORKERS, cache=cache)
+    return OverheadSweep(settings, engine=engine)

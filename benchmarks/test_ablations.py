@@ -1,6 +1,6 @@
 """Ablations: idealized shadow accesses (§9.3) and rename-time copy elimination (§6.2)."""
 
-from conftest import report
+from benchmarks.helpers import report
 from repro.experiments import ablations
 
 

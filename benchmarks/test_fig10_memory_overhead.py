@@ -4,7 +4,7 @@ Paper geo-means: 32% counted in words touched, 56% counted in 4KB pages
 touched (page-granularity allocation of the shadow space fragments it).
 """
 
-from conftest import report
+from benchmarks.helpers import report
 from repro.experiments import fig10_memory_overhead as fig10
 
 

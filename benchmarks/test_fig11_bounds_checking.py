@@ -4,7 +4,7 @@ Paper geo-means: Watchdog (UAF only) ≈15%, +bounds fused into the check µop
 ≈18%, +bounds as a separate µop ≈24%.
 """
 
-from conftest import report
+from benchmarks.helpers import report
 from repro.experiments import fig11_bounds_checking as fig11
 
 

@@ -3,7 +3,7 @@
 Paper: conservative ≈31% average, ISA-assisted ≈18% average.
 """
 
-from conftest import report
+from benchmarks.helpers import report
 from repro.experiments import fig5_pointer_identification as fig5
 
 

@@ -4,7 +4,7 @@ Paper geo-means: conservative ≈25%, ISA-assisted ≈15%; §9.3 reports ≈11% 
 idealized shadow accesses.
 """
 
-from conftest import report
+from benchmarks.helpers import report
 from repro.experiments import fig7_runtime_overhead as fig7
 
 

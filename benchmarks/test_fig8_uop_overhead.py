@@ -4,7 +4,7 @@ Paper averages: total ≈44%; checks ≈29%, pointer loads ≈4%, pointer stores
 ≈2%, other (selects, frame management, allocator instrumentation) ≈9%.
 """
 
-from conftest import report
+from benchmarks.helpers import report
 from repro.experiments import fig8_uop_overhead as fig8
 
 

@@ -5,7 +5,7 @@ lock cache misses less than once per 1000 instructions for 17 of the 20
 benchmarks.
 """
 
-from conftest import report
+from benchmarks.helpers import report
 from repro.experiments import fig9_lock_cache as fig9
 
 

@@ -3,7 +3,7 @@
 Paper: all 291 use-after-free test cases detected, zero false positives.
 """
 
-from conftest import report
+from benchmarks.helpers import report
 from repro.experiments import sec92_juliet
 
 

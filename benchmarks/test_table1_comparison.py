@@ -1,6 +1,6 @@
 """Table 1: comparison of use-after-free checking approaches."""
 
-from conftest import report
+from benchmarks.helpers import report
 from repro.experiments import table1_comparison
 
 

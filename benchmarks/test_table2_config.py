@@ -1,6 +1,6 @@
 """Table 2: simulated processor configuration."""
 
-from conftest import report
+from benchmarks.helpers import report
 from repro.experiments import table2_config
 
 

@@ -1,29 +1,35 @@
 """Overhead study on the SPEC-like synthetic workloads.
 
-A scaled-down version of the Figure 7 / Figure 9 / Figure 11 experiments:
-picks a handful of benchmarks (or all twenty with ``--all``), times them under
-the baseline and several Watchdog configurations on the out-of-order timing
-model, and prints per-benchmark slowdowns plus geometric means.
+A scaled-down version of the Figure 7 / Figure 9 / Figure 11 experiments,
+driven through the sweep engine: the study is *declared* as an
+:class:`ExperimentSpec` (benchmark × configuration grid), executed serially
+or on a process pool, and — when caching is enabled — resolved instantly on
+repeated runs.
 
 Run with::
 
-    python examples/spec_overhead_study.py              # 6 benchmarks, quick
-    python examples/spec_overhead_study.py --all        # all twenty
+    python examples/spec_overhead_study.py               # 6 benchmarks, quick
+    python examples/spec_overhead_study.py --all -j 4    # all twenty, 4 workers
+    python examples/spec_overhead_study.py --cache-dir /tmp/repro-cache
 """
 
 import argparse
+import time
 
-from repro import Simulator, WatchdogConfig, benchmark_names
+from repro import WatchdogConfig, benchmark_names
+from repro.sim.cache import ResultCache
+from repro.sim.engine import SweepEngine
+from repro.sim.spec import ExperimentSettings, ExperimentSpec
 from repro.sim.stats import geometric_mean_overhead
 
 QUICK_BENCHMARKS = ("gzip", "mcf", "gcc", "perl", "lbm", "hmmer")
 
-CONFIGS = (
-    ("conservative", WatchdogConfig.conservative_uaf()),
-    ("isa-assisted", WatchdogConfig.isa_assisted_uaf()),
-    ("no-lock-cache", WatchdogConfig.no_lock_cache()),
-    ("bounds-2uop", WatchdogConfig.full_safety_two_uops()),
-)
+CONFIGS = {
+    "conservative": WatchdogConfig.conservative_uaf(),
+    "isa-assisted": WatchdogConfig.isa_assisted_uaf(),
+    "no-lock-cache": WatchdogConfig.no_lock_cache(),
+    "bounds-2uop": WatchdogConfig.full_safety_two_uops(),
+}
 
 
 def main():
@@ -32,34 +38,47 @@ def main():
                         help="run all twenty SPEC-like benchmarks")
     parser.add_argument("--instructions", type=int, default=6000,
                         help="dynamic macro instructions per run")
+    parser.add_argument("--workers", "-j", type=int, default=1,
+                        help="worker processes (results identical to serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="enable the persistent result cache at this path")
     args = parser.parse_args()
 
-    benchmarks = benchmark_names() if args.all else QUICK_BENCHMARKS
-    simulator = Simulator()
+    benchmarks = tuple(benchmark_names()) if args.all else QUICK_BENCHMARKS
+    settings = ExperimentSettings(benchmarks=benchmarks,
+                                  instructions=args.instructions, seed=7)
+    spec = ExperimentSpec.build("overhead-study", CONFIGS, settings=settings)
 
-    header = f"{'benchmark':<10}" + "".join(f"{name:>16}" for name, _ in CONFIGS)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    engine = SweepEngine(workers=args.workers, cache=cache)
+
+    started = time.perf_counter()
+    cells = engine.run_spec(spec)
+    elapsed = time.perf_counter() - started
+
+    header = f"{'benchmark':<10}" + "".join(f"{name:>16}" for name in CONFIGS)
     print(header)
     print("-" * len(header))
 
-    overheads = {name: [] for name, _ in CONFIGS}
+    overheads = {name: [] for name in CONFIGS}
     for benchmark in benchmarks:
-        baseline = simulator.run_benchmark(benchmark, WatchdogConfig.disabled(),
-                                           instructions=args.instructions, seed=7)
+        baseline = cells[benchmark, "baseline"]
         row = f"{benchmark:<10}"
-        for name, config in CONFIGS:
-            outcome = simulator.run_benchmark(benchmark, config,
-                                              instructions=args.instructions, seed=7)
-            overhead = outcome.cycles / baseline.cycles - 1.0
+        for name in CONFIGS:
+            overhead = cells[benchmark, name].overhead_vs(baseline)
             overheads[name].append(overhead)
             row += f"{100 * overhead:>15.1f}%"
         print(row)
 
     print("-" * len(header))
     row = f"{'geo.mean':<10}"
-    for name, _ in CONFIGS:
+    for name in CONFIGS:
         row += f"{100 * geometric_mean_overhead(overheads[name]):>15.1f}%"
     print(row)
-    print("\npaper geo-means: conservative 25%, ISA-assisted 15%, "
+    print(f"\n{len(cells)} cells in {elapsed:.1f}s "
+          f"({engine.simulated_cells} simulated, workers={engine.workers}"
+          + (f", cache hits {cache.hits}" if cache else "") + ")")
+    print("paper geo-means: conservative 25%, ISA-assisted 15%, "
           "no lock cache 24%, bounds (2 uops) 24%")
 
 

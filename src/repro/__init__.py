@@ -12,6 +12,10 @@ The public API re-exports the pieces a downstream user typically needs:
 * the simulation layer (:class:`~repro.sim.simulator.Simulator`,
   :class:`~repro.pipeline.config.MachineConfig`) for timing studies on the
   SPEC-like synthetic workloads,
+* the sweep engine (:class:`~repro.sim.engine.SweepEngine`,
+  :class:`~repro.sim.spec.ExperimentSpec`,
+  :class:`~repro.sim.cache.ResultCache`) for declarative, parallel,
+  cached (benchmark × configuration) grids,
 * the workload generators (SPEC profiles, Juliet-style suite, attacks),
 * the experiment drivers under :mod:`repro.experiments`, one per paper
   table/figure.
@@ -43,7 +47,11 @@ from repro.errors import (
 from repro.pipeline.config import MachineConfig
 from repro.program.builder import ProgramBuilder
 from repro.program.machine import ExecutionResult, Machine
+from repro.sim.cache import ResultCache
+from repro.sim.engine import SweepEngine
+from repro.sim.results import CellResult, ExperimentResult
 from repro.sim.simulator import SimulationOutcome, Simulator
+from repro.sim.spec import ExperimentSettings, ExperimentSpec, RunRequest
 from repro.workloads.juliet import JulietSuite
 from repro.workloads.profiles import SPEC_PROFILES, benchmark_names, profile_by_name
 from repro.workloads.synthetic import SyntheticWorkload
@@ -61,6 +69,13 @@ __all__ = [
     "ExecutionResult",
     "Simulator",
     "SimulationOutcome",
+    "SweepEngine",
+    "ResultCache",
+    "CellResult",
+    "ExperimentResult",
+    "ExperimentSettings",
+    "ExperimentSpec",
+    "RunRequest",
     "JulietSuite",
     "SyntheticWorkload",
     "SPEC_PROFILES",

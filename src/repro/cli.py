@@ -1,0 +1,167 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --figure fig7 --workers 4
+    python -m repro run --figure fig7 --figure fig9 --quick --no-cache
+    python -m repro run --all --workers 8 --cache-dir /tmp/repro-cache
+
+Sweep-based figures share one :class:`~repro.experiments.common.OverheadSweep`
+per invocation, so configurations appearing in several figures are simulated
+once; with caching enabled (default: ``.repro-cache/``) repeated invocations
+skip already-computed cells entirely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import (
+    EXPERIMENTS,
+    STANDALONE_EXPERIMENTS,
+    SWEEP_EXPERIMENTS,
+    ExperimentSettings,
+    OverheadSweep,
+)
+from repro.sim.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.sim.engine import SweepEngine
+from repro.workloads.profiles import benchmark_names
+
+
+def _experiment_description(module) -> str:
+    doc = (module.__doc__ or "").strip().splitlines()
+    return doc[0].rstrip(".") if doc else ""
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the Watchdog reproduction's figure/table experiments.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available experiments")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("--figure", "-f", dest="figures", action="append",
+                     metavar="NAME", choices=sorted(EXPERIMENTS),
+                     help="experiment to run (repeatable); see `list`")
+    run.add_argument("--all", action="store_true",
+                     help="run every experiment")
+    run.add_argument("--workers", "-j", type=int, default=1, metavar="N",
+                     help="worker processes for the sweep engine (default: 1)")
+    run.add_argument("--instructions", "-n", type=int, default=None, metavar="N",
+                     help="dynamic macro instructions per benchmark run")
+    run.add_argument("--seed", type=int, default=None,
+                     help="workload seed (default: 7)")
+    run.add_argument("--benchmarks", "-b", metavar="A,B,...",
+                     help="comma-separated benchmark subset (default: all 20)")
+    run.add_argument("--quick", action="store_true",
+                     help="reduced scale: 4 benchmarks, short traces")
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the persistent result cache")
+    run.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+                     help=f"result cache location (default: {DEFAULT_CACHE_DIR})")
+
+    cache = sub.add_parser("cache", help="inspect or prune the result cache")
+    cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+                       help=f"result cache location (default: {DEFAULT_CACHE_DIR})")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cached cell (e.g. entries orphaned "
+                            "by code changes)")
+    return parser
+
+
+def _settings_from(args) -> ExperimentSettings:
+    benchmarks = tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    if args.quick:
+        settings = ExperimentSettings.quick(benchmarks=benchmarks)
+    elif benchmarks:
+        settings = ExperimentSettings(benchmarks=benchmarks)
+    else:
+        settings = ExperimentSettings()
+    updates = {}
+    if args.instructions is not None:
+        updates["instructions"] = args.instructions
+    if args.seed is not None:
+        updates["seed"] = args.seed
+    return dataclasses.replace(settings, **updates) if updates else settings
+
+
+def _cmd_list() -> int:
+    print("sweep experiments (benchmark × configuration grids):")
+    for name, module in SWEEP_EXPERIMENTS.items():
+        print(f"  {name:<10} {_experiment_description(module)}")
+    print("standalone experiments:")
+    for name, module in STANDALONE_EXPERIMENTS.items():
+        print(f"  {name:<10} {_experiment_description(module)}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    names: List[str] = list(EXPERIMENTS) if args.all else (args.figures or [])
+    if not names:
+        print("nothing to run: pass --figure NAME (repeatable) or --all",
+              file=sys.stderr)
+        return 2
+
+    settings = _settings_from(args)
+    known = set(benchmark_names())
+    unknown = [name for name in settings.benchmarks if name not in known]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}; "
+              f"known: {', '.join(sorted(known))}", file=sys.stderr)
+        return 2
+    cache: Optional[ResultCache] = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    engine = SweepEngine(workers=args.workers, cache=cache)
+    sweep = OverheadSweep(settings, engine=engine)
+
+    for name in names:
+        module = EXPERIMENTS[name]
+        started = time.perf_counter()
+        if name in SWEEP_EXPERIMENTS:
+            result = module.run(sweep=sweep)
+        else:
+            result = module.run()
+        elapsed = time.perf_counter() - started
+        print(f"=== {result.name} ({elapsed:.1f}s) ===")
+        print(result.format_table())
+        print()
+
+    if cache is not None:
+        print(f"[engine] simulated {engine.simulated_cells} cells, "
+              f"cache hits {cache.hits}, workers {engine.workers}, "
+              f"cache dir {cache.root}")
+    else:
+        print(f"[engine] simulated {engine.simulated_cells} cells, "
+              f"workers {engine.workers}, cache disabled")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached cells from {cache.root}")
+    else:
+        print(f"{len(cache)} cached cells in {cache.root}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "cache":
+        return _cmd_cache(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

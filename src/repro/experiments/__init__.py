@@ -31,11 +31,40 @@ from repro.experiments import (
     table1_comparison,
     table2_config,
 )
-from repro.experiments.common import ExperimentSettings, OverheadSweep
+from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
+
+#: Sweep-based experiments: modules exposing ``spec(settings)`` and
+#: ``run(settings=…, sweep=…, workers=…)``.  They share one
+#: :class:`OverheadSweep`, so configurations appearing in several figures are
+#: simulated (or cache-fetched) once per session.
+SWEEP_EXPERIMENTS = {
+    "fig5": fig5_pointer_identification,
+    "fig7": fig7_runtime_overhead,
+    "fig8": fig8_uop_overhead,
+    "fig9": fig9_lock_cache,
+    "fig10": fig10_memory_overhead,
+    "fig11": fig11_bounds_checking,
+    "ablations": ablations,
+}
+
+#: Experiments that do not run the (benchmark × configuration) grid: the
+#: derived tables and the Juliet detection suite.
+STANDALONE_EXPERIMENTS = {
+    "table1": table1_comparison,
+    "table2": table2_config,
+    "juliet": sec92_juliet,
+}
+
+#: Every runnable experiment by CLI name.
+EXPERIMENTS = {**SWEEP_EXPERIMENTS, **STANDALONE_EXPERIMENTS}
 
 __all__ = [
     "ExperimentSettings",
+    "ExperimentSpec",
     "OverheadSweep",
+    "SWEEP_EXPERIMENTS",
+    "STANDALONE_EXPERIMENTS",
+    "EXPERIMENTS",
     "ablations",
     "fig5_pointer_identification",
     "fig7_runtime_overhead",

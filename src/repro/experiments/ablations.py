@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, OverheadSweep
+from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import geometric_mean_overhead
 
@@ -27,22 +27,31 @@ EXPECTED = {
     "ideal_shadow_geomean_percent": 11.0,
 }
 
+NAME = "ablations"
 BASELINE_WD = "isa-assisted"
 IDEAL_SHADOW = "ideal-shadow"
 NO_COPY_ELIMINATION = "no-copy-elimination"
 
 
-def run(settings: Optional[ExperimentSettings] = None,
-        sweep: Optional[OverheadSweep] = None) -> ExperimentResult:
-    """Run the idealized-shadow and copy-elimination ablations."""
-    sweep = sweep or OverheadSweep(settings)
-    configs = {
+def spec(settings: Optional[ExperimentSettings] = None) -> ExperimentSpec:
+    """The ablation grid: ideal shadow and disabled copy elimination."""
+    return ExperimentSpec.build(NAME, {
         BASELINE_WD: WatchdogConfig.isa_assisted_uaf(),
         IDEAL_SHADOW: WatchdogConfig.idealized_shadow(),
-        NO_COPY_ELIMINATION: WatchdogConfig.isa_assisted_uaf().with_(copy_elimination=False),
-    }
-    result = ExperimentResult(name="ablations")
-    for label, config in configs.items():
+        NO_COPY_ELIMINATION:
+            WatchdogConfig.isa_assisted_uaf().with_(copy_elimination=False),
+    }, settings=settings)
+
+
+def run(settings: Optional[ExperimentSettings] = None,
+        sweep: Optional[OverheadSweep] = None,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Run the idealized-shadow and copy-elimination ablations."""
+    sweep = sweep or OverheadSweep(settings, workers=workers)
+    grid = spec(sweep.settings)
+    sweep.run_spec(grid)
+    result = ExperimentResult(name=grid.name)
+    for label, config in grid.configs:
         overheads = sweep.overheads(label, config)
         for benchmark, overhead in overheads.items():
             result.add_value(label, benchmark, 100.0 * overhead)

@@ -3,79 +3,95 @@
 All of the figure experiments follow the same pattern: run every benchmark
 under a baseline (Watchdog disabled) and under one or more Watchdog
 configurations, then compare cycles (Figures 7/9/11), µop counts (Figure 8),
-classification fractions (Figure 5) or footprints (Figure 10).  The
-:class:`OverheadSweep` performs those runs once and caches the outcomes so a
-single sweep can feed several figures.
+classification fractions (Figure 5) or footprints (Figure 10).
+
+Each figure module *declares* its grid as an
+:class:`~repro.sim.spec.ExperimentSpec`; the :class:`OverheadSweep` hands the
+grid to a :class:`~repro.sim.engine.SweepEngine`, which shares trace
+generation across configurations, optionally fans cells out over a process
+pool and/or resolves them from the persistent result cache, and memoizes the
+resulting :class:`~repro.sim.results.CellResult` records so a single sweep
+can feed several figures.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.config import WatchdogConfig
-from repro.sim.simulator import SimulationOutcome, Simulator
+from repro.pipeline.config import MachineConfig
+from repro.sim.cache import ResultCache
+from repro.sim.engine import SweepEngine
+from repro.sim.results import CellResult
+from repro.sim.spec import (
+    BASELINE_LABEL,
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_SEED,
+    ExperimentSettings,
+    ExperimentSpec,
+    RunRequest,
+)
 from repro.sim.stats import geometric_mean_overhead, percent_overhead
-from repro.workloads.profiles import benchmark_names
 
-#: Default dynamic macro-instruction count per benchmark run.  Large enough
-#: for cache/branch behaviour to settle, small enough to keep the full
-#: 20-benchmark sweeps fast; the benchmark harness can raise it.
-DEFAULT_INSTRUCTIONS = 8_000
-#: Default random seed for the synthetic workloads (reproducibility).
-DEFAULT_SEED = 7
-
-
-@dataclass(frozen=True)
-class ExperimentSettings:
-    """Knobs shared by all figure experiments."""
-
-    benchmarks: Tuple[str, ...] = tuple(benchmark_names())
-    instructions: int = DEFAULT_INSTRUCTIONS
-    seed: int = DEFAULT_SEED
-
-    @classmethod
-    def quick(cls, benchmarks: Optional[Sequence[str]] = None,
-              instructions: int = 3_000) -> "ExperimentSettings":
-        """A reduced setting for unit tests (few benchmarks, short traces)."""
-        chosen = tuple(benchmarks) if benchmarks else ("gzip", "mcf", "lbm", "gcc")
-        return cls(benchmarks=chosen, instructions=instructions)
+__all__ = [
+    "DEFAULT_INSTRUCTIONS",
+    "DEFAULT_SEED",
+    "ExperimentSettings",
+    "ExperimentSpec",
+    "OverheadSweep",
+]
 
 
 class OverheadSweep:
-    """Runs (benchmark × configuration) simulations and caches the outcomes."""
+    """Settings-scoped view over a :class:`SweepEngine`.
 
-    BASELINE = "baseline"
+    Binds the engine to one :class:`ExperimentSettings` (benchmark list,
+    instruction count, seed) and exposes the cell lookups and overhead math
+    the figure drivers summarize with.  Outcomes are memoized inside the
+    engine, so configurations shared between figures (e.g. the ISA-assisted
+    run used by Figures 7–11) are simulated once per sweep — or never, when
+    a persistent cache already holds them.
+    """
+
+    BASELINE = BASELINE_LABEL
 
     def __init__(self, settings: Optional[ExperimentSettings] = None,
-                 simulator: Optional[Simulator] = None):
+                 engine: Optional[SweepEngine] = None,
+                 machine: Optional[MachineConfig] = None,
+                 workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
         self.settings = settings or ExperimentSettings()
-        self.simulator = simulator or Simulator()
-        self._outcomes: Dict[Tuple[str, str], SimulationOutcome] = {}
+        self.engine = engine or SweepEngine(machine=machine, workers=workers,
+                                            cache=cache)
 
-    # -- running ---------------------------------------------------------------------
+    # -- declarative entry points ---------------------------------------------------
+    def run_spec(self, spec: ExperimentSpec) -> Dict[Tuple[str, str], CellResult]:
+        """Batch-execute a grid (the parallel/cached fast path)."""
+        return self.engine.run_spec(spec)
+
+    def run_configs(self, configs: Mapping[str, WatchdogConfig],
+                    include_baseline: bool = True) -> None:
+        """Pre-run every benchmark under every configuration (plus baseline)."""
+        self.run_spec(ExperimentSpec.build("sweep", configs,
+                                           settings=self.settings,
+                                           include_baseline=include_baseline))
+
+    # -- cell access ---------------------------------------------------------------
+    def request(self, benchmark: str, label: str,
+                config: WatchdogConfig) -> RunRequest:
+        return RunRequest(benchmark=benchmark, label=label, config=config,
+                          instructions=self.settings.instructions,
+                          seed=self.settings.seed)
+
     def outcome(self, benchmark: str, label: str,
-                config: WatchdogConfig) -> SimulationOutcome:
-        """Run (or fetch from cache) one benchmark under one configuration."""
-        key = (benchmark, label)
-        if key not in self._outcomes:
-            self._outcomes[key] = self.simulator.run_benchmark(
-                benchmark, config,
-                instructions=self.settings.instructions,
-                seed=self.settings.seed)
-        return self._outcomes[key]
+                config: WatchdogConfig) -> CellResult:
+        """Run (or fetch from memo/cache) one benchmark under one configuration."""
+        return self.engine.cell(self.request(benchmark, label, config))
 
-    def baseline(self, benchmark: str) -> SimulationOutcome:
+    def baseline(self, benchmark: str) -> CellResult:
         return self.outcome(benchmark, self.BASELINE, WatchdogConfig.disabled())
 
-    def run_configs(self, configs: Dict[str, WatchdogConfig]) -> None:
-        """Pre-run every benchmark under every configuration (plus baseline)."""
-        for benchmark in self.settings.benchmarks:
-            self.baseline(benchmark)
-            for label, config in configs.items():
-                self.outcome(benchmark, label, config)
-
-    # -- derived values ------------------------------------------------------------------
+    # -- derived values ------------------------------------------------------------
     def overhead(self, benchmark: str, label: str, config: WatchdogConfig) -> float:
         """Fractional slowdown of ``config`` over the baseline."""
         baseline = self.baseline(benchmark)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, OverheadSweep
+from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import geometric_mean
 
@@ -22,24 +22,34 @@ EXPECTED = {
     "pages_geomean_percent": 56.0,
 }
 
+NAME = "fig10-memory-overhead"
+ISA_ASSISTED = "isa-assisted"
 WORDS = "words"
 PAGES = "pages"
 
 
+def spec(settings: Optional[ExperimentSettings] = None) -> ExperimentSpec:
+    """The Figure 10 grid: the ISA-assisted configuration, no baseline needed."""
+    return ExperimentSpec.build(NAME, {
+        ISA_ASSISTED: WatchdogConfig.isa_assisted_uaf(),
+    }, settings=settings, include_baseline=False)
+
+
 def run(settings: Optional[ExperimentSettings] = None,
-        sweep: Optional[OverheadSweep] = None) -> ExperimentResult:
+        sweep: Optional[OverheadSweep] = None,
+        workers: Optional[int] = None) -> ExperimentResult:
     """Measure shadow word and shadow page overheads (ISA-assisted)."""
-    sweep = sweep or OverheadSweep(settings)
-    config = WatchdogConfig.isa_assisted_uaf()
-    result = ExperimentResult(name="fig10-memory-overhead")
+    sweep = sweep or OverheadSweep(settings, workers=workers)
+    grid = spec(sweep.settings)
+    cells = sweep.run_spec(grid)
+    result = ExperimentResult(name=grid.name)
 
     word_ratios = []
     page_ratios = []
     for benchmark in sweep.benchmarks:
-        outcome = sweep.outcome(benchmark, "isa-assisted", config)
-        assert outcome.pages is not None
-        word_overhead = outcome.pages.word_overhead()
-        page_overhead = outcome.pages.page_overhead()
+        outcome = cells[benchmark, ISA_ASSISTED]
+        word_overhead = outcome.word_overhead()
+        page_overhead = outcome.page_overhead()
         word_ratios.append(1.0 + word_overhead)
         page_ratios.append(1.0 + page_overhead)
         result.add_value(WORDS, benchmark, 100.0 * word_overhead)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, OverheadSweep
+from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import geometric_mean_overhead
 
@@ -23,28 +23,36 @@ EXPECTED = {
     "bounds_two_uop_geomean_percent": 24.0,
 }
 
+NAME = "fig11-bounds-checking"
 WATCHDOG = "watchdog"
 BOUNDS_FUSED = "bounds-1uop"
 BOUNDS_TWO_UOPS = "bounds-2uop"
 
 
-def run(settings: Optional[ExperimentSettings] = None,
-        sweep: Optional[OverheadSweep] = None) -> ExperimentResult:
-    """Measure overhead of the three checking configurations."""
-    sweep = sweep or OverheadSweep(settings)
-    configs = {
+def spec(settings: Optional[ExperimentSettings] = None) -> ExperimentSpec:
+    """The Figure 11 grid: UAF-only plus both bounds-checking variants."""
+    return ExperimentSpec.build(NAME, {
         WATCHDOG: WatchdogConfig.isa_assisted_uaf(),
         BOUNDS_FUSED: WatchdogConfig.full_safety_fused(),
         BOUNDS_TWO_UOPS: WatchdogConfig.full_safety_two_uops(),
-    }
-    result = ExperimentResult(name="fig11-bounds-checking")
+    }, settings=settings)
+
+
+def run(settings: Optional[ExperimentSettings] = None,
+        sweep: Optional[OverheadSweep] = None,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Measure overhead of the three checking configurations."""
+    sweep = sweep or OverheadSweep(settings, workers=workers)
+    grid = spec(sweep.settings)
+    sweep.run_spec(grid)
+    result = ExperimentResult(name=grid.name)
 
     summary_keys = {
         WATCHDOG: "watchdog_geomean_percent",
         BOUNDS_FUSED: "bounds_fused_geomean_percent",
         BOUNDS_TWO_UOPS: "bounds_two_uop_geomean_percent",
     }
-    for label, config in configs.items():
+    for label, config in grid.configs:
         overheads = sweep.overheads(label, config)
         for benchmark, overhead in overheads.items():
             result.add_value(label, benchmark, 100.0 * overhead)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, OverheadSweep
+from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import arithmetic_mean
 
@@ -20,26 +20,32 @@ EXPECTED = {
     "isa_assisted_avg_percent": 18.0,
 }
 
+NAME = "fig5-pointer-identification"
 CONSERVATIVE = "conservative"
 ISA_ASSISTED = "isa-assisted"
 
 
-def run(settings: Optional[ExperimentSettings] = None,
-        sweep: Optional[OverheadSweep] = None) -> ExperimentResult:
-    """Classify every benchmark's memory accesses under both policies."""
-    sweep = sweep or OverheadSweep(settings)
-    configs = {
+def spec(settings: Optional[ExperimentSettings] = None) -> ExperimentSpec:
+    """The Figure 5 grid: both identification policies, no baseline needed."""
+    return ExperimentSpec.build(NAME, {
         CONSERVATIVE: WatchdogConfig.conservative_uaf(),
         ISA_ASSISTED: WatchdogConfig.isa_assisted_uaf(),
-    }
-    result = ExperimentResult(name="fig5-pointer-identification")
+    }, settings=settings, include_baseline=False)
 
-    for label, config in configs.items():
+
+def run(settings: Optional[ExperimentSettings] = None,
+        sweep: Optional[OverheadSweep] = None,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Classify every benchmark's memory accesses under both policies."""
+    sweep = sweep or OverheadSweep(settings, workers=workers)
+    grid = spec(sweep.settings)
+    cells = sweep.run_spec(grid)
+    result = ExperimentResult(name=grid.name)
+
+    for label, _ in grid.configs:
         for benchmark in sweep.benchmarks:
-            outcome = sweep.outcome(benchmark, label, config)
-            assert outcome.pointer_stats is not None
-            fraction = outcome.pointer_stats.pointer_fraction
-            result.add_value(label, benchmark, 100.0 * fraction)
+            result.add_value(label, benchmark,
+                             100.0 * cells[benchmark, label].pointer_fraction)
 
     conservative_avg = arithmetic_mean(list(result.series[CONSERVATIVE].values()))
     isa_avg = arithmetic_mean(list(result.series[ISA_ASSISTED].values()))

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, OverheadSweep
+from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import geometric_mean_overhead
 
@@ -22,25 +22,35 @@ EXPECTED = {
     "ideal_shadow_geomean_percent": 11.0,
 }
 
+NAME = "fig7-runtime-overhead"
 CONSERVATIVE = "conservative"
 ISA_ASSISTED = "isa-assisted"
 IDEAL_SHADOW = "ideal-shadow"
 
 
-def run(settings: Optional[ExperimentSettings] = None,
-        sweep: Optional[OverheadSweep] = None,
-        include_ideal_shadow: bool = True) -> ExperimentResult:
-    """Measure per-benchmark slowdown for both identification policies."""
-    sweep = sweep or OverheadSweep(settings)
+def spec(settings: Optional[ExperimentSettings] = None,
+         include_ideal_shadow: bool = True) -> ExperimentSpec:
+    """The Figure 7 grid: both identification policies (+ §9.3 ablation)."""
     configs = {
         CONSERVATIVE: WatchdogConfig.conservative_uaf(),
         ISA_ASSISTED: WatchdogConfig.isa_assisted_uaf(),
     }
     if include_ideal_shadow:
         configs[IDEAL_SHADOW] = WatchdogConfig.idealized_shadow()
+    return ExperimentSpec.build(NAME, configs, settings=settings)
 
-    result = ExperimentResult(name="fig7-runtime-overhead")
-    for label, config in configs.items():
+
+def run(settings: Optional[ExperimentSettings] = None,
+        sweep: Optional[OverheadSweep] = None,
+        include_ideal_shadow: bool = True,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Measure per-benchmark slowdown for both identification policies."""
+    sweep = sweep or OverheadSweep(settings, workers=workers)
+    grid = spec(sweep.settings, include_ideal_shadow=include_ideal_shadow)
+    sweep.run_spec(grid)
+
+    result = ExperimentResult(name=grid.name)
+    for label, config in grid.configs:
         overheads = sweep.overheads(label, config)
         for benchmark, overhead in overheads.items():
             result.add_value(label, benchmark, 100.0 * overhead)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, OverheadSweep
+from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import arithmetic_mean
 
@@ -24,23 +24,33 @@ EXPECTED = {
     "other_avg_percent": 9.0,
 }
 
+NAME = "fig8-uop-overhead"
+ISA_ASSISTED = "isa-assisted"
 SEGMENTS = ("checks", "pointer_loads", "pointer_stores", "other")
 
 
+def spec(settings: Optional[ExperimentSettings] = None) -> ExperimentSpec:
+    """The Figure 8 grid: the ISA-assisted configuration, no baseline needed."""
+    return ExperimentSpec.build(NAME, {
+        ISA_ASSISTED: WatchdogConfig.isa_assisted_uaf(),
+    }, settings=settings, include_baseline=False)
+
+
 def run(settings: Optional[ExperimentSettings] = None,
-        sweep: Optional[OverheadSweep] = None) -> ExperimentResult:
+        sweep: Optional[OverheadSweep] = None,
+        workers: Optional[int] = None) -> ExperimentResult:
     """Collect the per-benchmark µop overhead breakdown (ISA-assisted)."""
-    sweep = sweep or OverheadSweep(settings)
-    config = WatchdogConfig.isa_assisted_uaf()
-    result = ExperimentResult(name="fig8-uop-overhead")
+    sweep = sweep or OverheadSweep(settings, workers=workers)
+    grid = spec(sweep.settings)
+    cells = sweep.run_spec(grid)
+    result = ExperimentResult(name=grid.name)
 
     per_segment_totals: Dict[str, list] = {segment: [] for segment in SEGMENTS}
     totals = []
     for benchmark in sweep.benchmarks:
-        outcome = sweep.outcome(benchmark, "isa-assisted", config)
-        assert outcome.injection is not None
-        breakdown = outcome.injection.breakdown()
-        total = outcome.injection.overhead_fraction()
+        outcome = cells[benchmark, ISA_ASSISTED]
+        breakdown = outcome.uop_breakdown()
+        total = outcome.uop_overhead_fraction()
         totals.append(total)
         result.add_value("total", benchmark, 100.0 * total)
         for segment in SEGMENTS:

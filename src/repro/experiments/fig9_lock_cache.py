@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, OverheadSweep
+from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import geometric_mean_overhead
 
@@ -21,21 +21,29 @@ EXPECTED = {
     "without_lock_cache_geomean_percent": 24.0,
 }
 
+NAME = "fig9-lock-location-cache"
 WITH_CACHE = "with-lock-cache"
 WITHOUT_CACHE = "without-lock-cache"
 
 
-def run(settings: Optional[ExperimentSettings] = None,
-        sweep: Optional[OverheadSweep] = None) -> ExperimentResult:
-    """Measure overhead with and without the lock location cache."""
-    sweep = sweep or OverheadSweep(settings)
-    configs = {
+def spec(settings: Optional[ExperimentSettings] = None) -> ExperimentSpec:
+    """The Figure 9 grid: ISA-assisted with and without the lock cache."""
+    return ExperimentSpec.build(NAME, {
         WITH_CACHE: WatchdogConfig.isa_assisted_uaf(),
         WITHOUT_CACHE: WatchdogConfig.no_lock_cache(),
-    }
-    result = ExperimentResult(name="fig9-lock-location-cache")
+    }, settings=settings)
 
-    for label, config in configs.items():
+
+def run(settings: Optional[ExperimentSettings] = None,
+        sweep: Optional[OverheadSweep] = None,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Measure overhead with and without the lock location cache."""
+    sweep = sweep or OverheadSweep(settings, workers=workers)
+    grid = spec(sweep.settings)
+    cells = sweep.run_spec(grid)
+    result = ExperimentResult(name=grid.name)
+
+    for label, config in grid.configs:
         overheads = sweep.overheads(label, config)
         for benchmark, overhead in overheads.items():
             result.add_value(label, benchmark, 100.0 * overhead)
@@ -45,10 +53,9 @@ def run(settings: Optional[ExperimentSettings] = None,
     # Lock cache miss rate (misses per kilo-instruction) per benchmark.
     low_mpki_benchmarks = 0
     for benchmark in sweep.benchmarks:
-        outcome = sweep.outcome(benchmark, WITH_CACHE, configs[WITH_CACHE])
-        assert outcome.timing is not None
-        mpki = (1000.0 * outcome.timing.lock_cache_misses
-                / max(outcome.timing.total_uops, 1))
+        outcome = cells[benchmark, WITH_CACHE]
+        mpki = (1000.0 * outcome.lock_cache_misses
+                / max(outcome.total_uops, 1))
         result.add_value("lock_cache_mpki", benchmark, mpki)
         if mpki < 1.0:
             low_mpki_benchmarks += 1

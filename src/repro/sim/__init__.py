@@ -5,7 +5,13 @@
   into the µop stream the timing model replays,
 * :mod:`repro.sim.stats` — statistic helpers (geometric mean, overhead math),
 * :mod:`repro.sim.sampling` — the periodic-sampling schedule of §9.1,
-* :mod:`repro.sim.results` — result records shared by experiments and benches,
+* :mod:`repro.sim.results` — result records shared by experiments and benches
+  (including the flat, cacheable :class:`CellResult`),
+* :mod:`repro.sim.spec` — declarative experiment grids
+  (:class:`ExperimentSettings`, :class:`RunRequest`, :class:`ExperimentSpec`),
+* :mod:`repro.sim.cache` — the persistent content-addressed result cache,
+* :mod:`repro.sim.engine` — the sweep engine executing grids serially or on
+  a process pool with shared trace generation,
 * :mod:`repro.sim.simulator` — the top-level object gluing workload,
   Watchdog configuration, functional execution and timing together.
 """
@@ -13,18 +19,31 @@
 from repro.sim.trace import DynamicOp, TimedUop, TraceExpander
 from repro.sim.stats import geometric_mean, percent_overhead, OverheadReport
 from repro.sim.sampling import SamplingConfig, SamplingSchedule
-from repro.sim.results import BenchmarkResult, ExperimentResult
+from repro.sim.results import BenchmarkResult, CellResult, ExperimentResult
+from repro.sim.spec import (
+    BASELINE_LABEL,
+    ExperimentSettings,
+    ExperimentSpec,
+    RunRequest,
+)
+
+#: Attributes resolved lazily (see ``__getattr__``) — the modules behind them
+#: depend on the pipeline/workload packages, which themselves import
+#: :mod:`repro.sim.trace`; importing them eagerly here would create an import
+#: cycle when the pipeline package is loaded first.
+_LAZY = {
+    "Simulator": "repro.sim.simulator",
+    "SimulationOutcome": "repro.sim.simulator",
+    "SweepEngine": "repro.sim.engine",
+    "ResultCache": "repro.sim.cache",
+}
 
 
 def __getattr__(name):
-    # ``Simulator``/``SimulationOutcome`` are imported lazily: the simulator
-    # module depends on the pipeline package, which itself imports
-    # :mod:`repro.sim.trace`; importing it eagerly here would create an import
-    # cycle when the pipeline package is loaded first.
-    if name in ("Simulator", "SimulationOutcome"):
-        from repro.sim import simulator
+    if name in _LAZY:
+        import importlib
 
-        return getattr(simulator, name)
+        return getattr(importlib.import_module(_LAZY[name]), name)
     raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
 
 __all__ = [
@@ -37,7 +56,14 @@ __all__ = [
     "SamplingConfig",
     "SamplingSchedule",
     "BenchmarkResult",
+    "CellResult",
     "ExperimentResult",
+    "BASELINE_LABEL",
+    "ExperimentSettings",
+    "ExperimentSpec",
+    "RunRequest",
     "Simulator",
     "SimulationOutcome",
+    "SweepEngine",
+    "ResultCache",
 ]

@@ -1,0 +1,166 @@
+"""Persistent, content-addressed result cache.
+
+A simulated cell is a pure function of its inputs: the benchmark profile,
+the workload seed and instruction counts, the Watchdog configuration and the
+machine configuration.  The cache therefore keys each
+:class:`~repro.sim.results.CellResult` by a SHA-256 digest of a canonical
+JSON rendering of exactly those inputs (plus a schema version that is bumped
+whenever the simulation semantics change), and stores the cell as one small
+JSON file.  Repeated figure runs, the benchmark harness and the CLI all skip
+already-computed cells; any change to a configuration knob changes the
+digest and transparently invalidates the entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.pipeline.config import MachineConfig
+from repro.sim.results import CellResult
+from repro.sim.spec import RunRequest
+
+#: Bump when the on-disk record layout changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default on-disk location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the installed ``repro`` sources, mixed into every cache key.
+
+    A cached cell is only valid for the simulator that produced it; hashing
+    the package's source files means any code change — not just ones someone
+    remembered to version-bump — invalidates existing entries instead of
+    silently serving results the current code no longer produces.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            continue
+    return digest.hexdigest()
+
+
+def canonical_value(value: Any) -> Any:
+    """Render configs (nested dataclasses/enums) as a canonical JSON value.
+
+    Every field is included — even ``compare=False`` ones: e.g.
+    ``MachineConfig.EXEC_LATENCY`` is excluded from equality but is a real
+    timing input, and two machines differing only there must not share
+    cache entries.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: canonical_value(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): canonical_value(val)
+                for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    return value
+
+
+def request_fingerprint(request: RunRequest,
+                        machine: Optional[MachineConfig] = None) -> str:
+    """Content hash identifying one cell's full input space."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code": code_fingerprint(),
+        "benchmark": request.benchmark,
+        "instructions": request.instructions,
+        "seed": request.seed,
+        "warmup_instructions": request.warmup_instructions,
+        "config": canonical_value(request.config),
+        "machine": canonical_value(machine or MachineConfig()),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of :class:`CellResult` records, one JSON file per cell."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keying ---------------------------------------------------------------------
+    def key(self, request: RunRequest,
+            machine: Optional[MachineConfig] = None) -> str:
+        return request_fingerprint(request, machine)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- access ---------------------------------------------------------------------
+    def load(self, key: str) -> Optional[CellResult]:
+        """Fetch a cached cell, or ``None`` (corrupt entries count as misses).
+
+        An entry missing any :class:`CellResult` field is treated as corrupt
+        rather than zero-filled: a truncated or hand-edited file must fall
+        back to simulation, not masquerade as a cell with zero cycles.
+        """
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if not isinstance(data, dict) or \
+                    any(f.name not in data for f in dataclasses.fields(CellResult)):
+                raise ValueError("incomplete cache entry")
+            cell = CellResult.from_dict(data)
+        except (OSError, ValueError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return cell
+
+    def store(self, key: str, cell: CellResult) -> None:
+        """Persist a cell atomically (write-to-temp then rename)."""
+        path = self._path(key)
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(cell.to_dict(), handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def clear(self) -> int:
+        """Delete every cached cell; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

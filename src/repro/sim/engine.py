@@ -1,0 +1,241 @@
+"""The sweep engine: parallel, trace-sharing, cache-aware cell execution.
+
+Execution model
+---------------
+
+The engine receives the cells of one or more
+:class:`~repro.sim.spec.ExperimentSpec` grids and resolves each cell in the
+cheapest way available:
+
+1. **memo** — a cell already resolved by this engine instance is returned
+   as-is (figure drivers share configurations, e.g. the ISA-assisted run
+   feeds Figures 7, 8, 9, 10 and 11),
+2. **cache** — with a :class:`~repro.sim.cache.ResultCache` attached,
+   content-hash hits skip simulation entirely,
+3. **simulate** — remaining cells are grouped *per benchmark*: one job
+   generates the benchmark's dynamic trace once (as a
+   :class:`~repro.workloads.bundle.TraceBundle`) and replays it under every
+   requested configuration.  Jobs run serially or on a
+   :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Because the trace is a pure function of (profile, seed) and each cell is
+independent, the merge is deterministic: results are keyed by (benchmark,
+label) and collected in job-submission order, so a ``workers=8`` sweep is
+bit-identical to a ``workers=1`` sweep.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.pipeline.config import MachineConfig
+from repro.sim.cache import ResultCache
+from repro.sim.results import CellResult
+from repro.sim.simulator import Simulator
+from repro.sim.spec import ExperimentSpec, RunRequest
+from repro.workloads.bundle import TraceBundle
+
+CellKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class BenchmarkJob:
+    """All still-unresolved cells of one benchmark, executed as one unit.
+
+    Grouping by benchmark is what lets the worker generate the dynamic trace
+    once and replay it across every configuration; it also keeps the
+    parallel-task granularity coarse enough that pickling overhead stays
+    negligible next to simulation time.
+    """
+
+    benchmark: str
+    seed: int
+    instructions: int
+    warmup_instructions: Optional[int]
+    #: (label, config) pairs, in request order.
+    cells: Tuple[Tuple[str, object], ...]
+
+
+#: Per-process memo of generated trace bundles, keyed by the job's workload
+#: identity.  In a worker process this persists across jobs, so even when
+#: several jobs of the same benchmark land on one worker (e.g. after a cache
+#: partially resolved a grid) the trace is generated at most once per process.
+#: Bounded by total dynamic-op count rather than entry count: at the default
+#: scale (20 benchmarks × 10k ops) everything stays memoized across an
+#: `--all` run, while a handful of million-instruction bundles still evict
+#: LRU-first instead of pinning gigabytes in a long-lived serial process.
+_BUNDLES: "OrderedDict[Tuple[str, int, int, Optional[int]], TraceBundle]" = \
+    OrderedDict()
+_BUNDLES_OP_BUDGET = 2_000_000
+
+
+def _bundle_ops(bundle: TraceBundle) -> int:
+    return len(bundle.measured) + len(bundle.warmup)
+
+
+def _bundle_for(job: BenchmarkJob) -> TraceBundle:
+    key = (job.benchmark, job.seed, job.instructions, job.warmup_instructions)
+    bundle = _BUNDLES.get(key)
+    if bundle is None:
+        bundle = TraceBundle.generate(job.benchmark, seed=job.seed,
+                                      instructions=job.instructions,
+                                      warmup_instructions=job.warmup_instructions)
+        _BUNDLES[key] = bundle
+        total = sum(_bundle_ops(b) for b in _BUNDLES.values())
+        while total > _BUNDLES_OP_BUDGET and len(_BUNDLES) > 1:
+            _, evicted = _BUNDLES.popitem(last=False)
+            total -= _bundle_ops(evicted)
+    else:
+        _BUNDLES.move_to_end(key)
+    return bundle
+
+
+def execute_job(job: BenchmarkJob,
+                machine: Optional[MachineConfig] = None) -> List[CellResult]:
+    """Run every cell of one benchmark job (module-level: picklable)."""
+    bundle = _bundle_for(job)
+    simulator = Simulator(machine)
+    results: List[CellResult] = []
+    for label, config in job.cells:
+        outcome = simulator.run_bundle(bundle, config)
+        results.append(CellResult.from_outcome(outcome, label=label))
+    return results
+
+
+class SweepEngine:
+    """Executes experiment grids; the single entry point for all sweeps."""
+
+    def __init__(self, machine: Optional[MachineConfig] = None,
+                 workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        self.machine = machine
+        self.workers = max(int(workers or 1), 1)
+        self.cache = cache
+        #: Keyed by cell *content* — everything in the request except the
+        #: cosmetic label.  Different labels for the same configuration
+        #: (fig7's "isa-assisted" vs fig9's "with-lock-cache" vs fig11's
+        #: "watchdog") share one simulation, while the same label under
+        #: different configurations or scales never aliases.
+        self._memo: Dict[Tuple, CellResult] = {}
+        #: Cells actually simulated by this engine (excludes memo/cache hits);
+        #: the cache tests and the CLI's summary line read this.
+        self.simulated_cells = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # -- resolution ----------------------------------------------------------------
+    def run_spec(self, spec: ExperimentSpec) -> Dict[CellKey, CellResult]:
+        """Execute one declarative grid; returns every cell keyed by (benchmark, label)."""
+        return self.run_requests(spec.requests())
+
+    def run_requests(self, requests: Iterable[RunRequest]) -> Dict[CellKey, CellResult]:
+        """Resolve a batch of cells via memo, cache, then (parallel) simulation.
+
+        The returned dict is keyed by grid coordinates (benchmark, label);
+        should a batch contain two requests with the same coordinates but
+        different inputs, the first one wins — matching the first-run-wins
+        semantics of the memo.
+        """
+        requests = list(requests)
+        pending: List[RunRequest] = []
+        seen: set = set()
+        for request in requests:
+            identity = self._identity(request)
+            if identity in self._memo or identity in seen:
+                continue
+            cached = self._load_cached(request)
+            if cached is not None:
+                self._memo[identity] = cached
+                continue
+            seen.add(identity)
+            pending.append(request)
+
+        if pending:
+            for job, results in zip(*self._execute(self._group(pending))):
+                # Results arrive in the job's cell order, so pairing them
+                # positionally stays correct even if two cells share a label.
+                for (label, config), cell in zip(job.cells, results):
+                    request = RunRequest(
+                        benchmark=job.benchmark, label=label, config=config,
+                        instructions=job.instructions, seed=job.seed,
+                        warmup_instructions=job.warmup_instructions)
+                    self._memo[self._identity(request)] = cell
+                    self.simulated_cells += 1
+                    self._store_cached(request, cell)
+        resolved: Dict[CellKey, CellResult] = {}
+        for request in requests:
+            cell = self._memo[self._identity(request)]
+            if cell.configuration != request.label:
+                cell = cell.relabel(request.benchmark, request.label)
+            resolved.setdefault(request.key, cell)
+        return resolved
+
+    @staticmethod
+    def _identity(request: RunRequest) -> Tuple:
+        """The cell's content identity: the request minus its cosmetic label."""
+        return (request.benchmark, request.config, request.instructions,
+                request.seed, request.warmup_instructions)
+
+    def cell(self, request: RunRequest) -> CellResult:
+        """Resolve a single cell (memoized)."""
+        return self.run_requests([request])[request.key]
+
+    # -- caching -------------------------------------------------------------------
+    def _load_cached(self, request: RunRequest) -> Optional[CellResult]:
+        if self.cache is None:
+            return None
+        cell = self.cache.load(self.cache.key(request, self.machine))
+        if cell is None:
+            return None
+        # Cache keys ignore the cosmetic label, so rebrand on the way out.
+        return cell.relabel(request.benchmark, request.label)
+
+    def _store_cached(self, request: RunRequest, cell: CellResult) -> None:
+        if self.cache is None:
+            return
+        self.cache.store(self.cache.key(request, self.machine), cell)
+
+    # -- execution -----------------------------------------------------------------
+    @staticmethod
+    def _group(pending: List[RunRequest]) -> List[BenchmarkJob]:
+        """Group cells by workload identity, preserving first-seen order."""
+        grouped: Dict[Tuple, List[RunRequest]] = {}
+        for request in pending:
+            workload_key = (request.benchmark, request.seed,
+                            request.instructions, request.warmup_instructions)
+            grouped.setdefault(workload_key, []).append(request)
+        return [BenchmarkJob(benchmark=key[0], seed=key[1], instructions=key[2],
+                             warmup_instructions=key[3],
+                             cells=tuple((r.label, r.config) for r in members))
+                for key, members in grouped.items()]
+
+    def _execute(self, jobs: List[BenchmarkJob]) \
+            -> Tuple[List[BenchmarkJob], List[List[CellResult]]]:
+        if self.workers <= 1 or len(jobs) <= 1:
+            return jobs, [execute_job(job, self.machine) for job in jobs]
+        # ``map`` yields in submission order regardless of completion order,
+        # which keeps the merge deterministic.
+        results = list(self._pool().map(execute_job, jobs,
+                                        [self.machine] * len(jobs)))
+        return jobs, results
+
+    def _pool(self) -> ProcessPoolExecutor:
+        """The engine's worker pool, created lazily and reused across batches.
+
+        Reuse is what makes the worker-side ``_BUNDLES`` memo effective
+        beyond one batch: when several figures resolve through one engine,
+        later batches land on workers that already hold the traces.  The
+        pool lives until :meth:`close` (or interpreter exit — stdlib atexit
+        hooks join the workers).
+        """
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the engine stays usable)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None

@@ -1,9 +1,153 @@
-"""Result records shared by the experiment drivers and the benchmark harness."""
+"""Result records shared by the experiment drivers and the benchmark harness.
+
+Three records cover the pipeline end to end:
+
+* :class:`CellResult` — the flat, JSON-serializable summary of one simulated
+  (benchmark, configuration) cell.  It carries every statistic the figure
+  drivers read (cycles, µop breakdown, pointer classification, shadow
+  footprint), so a cached cell is indistinguishable from a fresh simulation,
+* :class:`BenchmarkResult` — one timing outcome in benchmark-harness form,
+* :class:`ExperimentResult` — a whole figure/table: per-benchmark series
+  plus headline summary numbers.
+
+All three round-trip through plain dicts (``to_dict``/``from_dict``) so the
+persistent result cache and any external tooling can store them as JSON.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, List, Optional
+
+
+def _from_known_fields(cls, data: Dict[str, Any]):
+    """Construct a dataclass from a dict, ignoring unknown (future) keys."""
+    known = {f.name for f in fields(cls)}
+    return cls(**{key: value for key, value in data.items() if key in known})
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Flat summary of one simulated (benchmark, configuration) cell.
+
+    Collapses :class:`~repro.sim.simulator.SimulationOutcome`'s live objects
+    (timing result, injection stats, pointer-classification stats, page
+    accountant) into plain counters.  Everything the figure drivers derive is
+    available as a property, and the record is immutable, hashable and
+    JSON-serializable — the currency of the sweep engine and its cache.
+    """
+
+    benchmark: str
+    configuration: str
+    # -- timing ------------------------------------------------------------------
+    cycles: int = 0
+    total_uops: int = 0
+    injected_uops: int = 0
+    macro_instructions: int = 0
+    memory_accesses: int = 0
+    lock_cache_misses: int = 0
+    l1d_misses: int = 0
+    # -- µop injection breakdown (Figure 8) ---------------------------------------
+    baseline_uops: int = 0
+    check_uops: int = 0
+    bounds_check_uops: int = 0
+    pointer_load_uops: int = 0
+    pointer_store_uops: int = 0
+    select_uops: int = 0
+    frame_uops: int = 0
+    other_uops: int = 0
+    # -- pointer classification (Figure 5) ----------------------------------------
+    memory_ops: int = 0
+    pointer_ops: int = 0
+    # -- shadow footprint (Figure 10) ---------------------------------------------
+    data_words: int = 0
+    shadow_words: int = 0
+    data_pages: int = 0
+    shadow_pages: int = 0
+
+    @classmethod
+    def from_outcome(cls, outcome, label: Optional[str] = None) -> "CellResult":
+        """Summarize a :class:`SimulationOutcome` into a flat cell record."""
+        timing = outcome.timing
+        injection = outcome.injection
+        pointer = outcome.pointer_stats
+        pages = outcome.pages
+        return cls(
+            benchmark=outcome.benchmark,
+            configuration=label if label is not None else outcome.configuration,
+            cycles=timing.cycles if timing else 0,
+            total_uops=timing.total_uops if timing else 0,
+            injected_uops=timing.injected_uops if timing else 0,
+            macro_instructions=timing.macro_instructions if timing else 0,
+            memory_accesses=timing.memory_accesses if timing else 0,
+            lock_cache_misses=timing.lock_cache_misses if timing else 0,
+            l1d_misses=timing.l1d_misses if timing else 0,
+            baseline_uops=injection.baseline_uops if injection else 0,
+            check_uops=injection.check_uops if injection else 0,
+            bounds_check_uops=injection.bounds_check_uops if injection else 0,
+            pointer_load_uops=injection.pointer_load_uops if injection else 0,
+            pointer_store_uops=injection.pointer_store_uops if injection else 0,
+            select_uops=injection.select_uops if injection else 0,
+            frame_uops=injection.frame_uops if injection else 0,
+            other_uops=injection.other_uops if injection else 0,
+            memory_ops=pointer.memory_ops if pointer else 0,
+            pointer_ops=pointer.pointer_ops if pointer else 0,
+            data_words=pages.data_word_count if pages else 0,
+            shadow_words=pages.shadow_word_count if pages else 0,
+            data_pages=pages.data_page_count if pages else 0,
+            shadow_pages=pages.shadow_page_count if pages else 0,
+        )
+
+    # -- derived values (what the figure drivers read) ------------------------------
+    @property
+    def ipc(self) -> float:
+        return self.total_uops / self.cycles if self.cycles else 0.0
+
+    def overhead_vs(self, baseline: "CellResult") -> float:
+        """Slowdown relative to ``baseline`` as a fraction."""
+        return self.cycles / baseline.cycles - 1.0
+
+    @property
+    def pointer_fraction(self) -> float:
+        """Fraction of memory accesses carrying metadata (Figure 5)."""
+        return self.pointer_ops / self.memory_ops if self.memory_ops else 0.0
+
+    def uop_overhead_fraction(self) -> float:
+        """Injected µops as a fraction of baseline µops (Figure 8 bar height)."""
+        injected = (self.check_uops + self.bounds_check_uops
+                    + self.pointer_load_uops + self.pointer_store_uops
+                    + self.select_uops + self.frame_uops + self.other_uops)
+        return injected / self.baseline_uops if self.baseline_uops else 0.0
+
+    def uop_breakdown(self) -> Dict[str, float]:
+        """Figure 8 segments as fractions of the baseline µop count."""
+        base = max(self.baseline_uops, 1)
+        return {
+            "checks": (self.check_uops + self.bounds_check_uops) / base,
+            "pointer_loads": self.pointer_load_uops / base,
+            "pointer_stores": self.pointer_store_uops / base,
+            "other": (self.select_uops + self.frame_uops + self.other_uops) / base,
+        }
+
+    def word_overhead(self) -> float:
+        """Shadow words as a fraction of data words (Figure 10, left bars)."""
+        return self.shadow_words / self.data_words if self.data_words else 0.0
+
+    def page_overhead(self) -> float:
+        """Shadow pages as a fraction of data pages (Figure 10, right bars)."""
+        return self.shadow_pages / self.data_pages if self.data_pages else 0.0
+
+    def relabel(self, benchmark: str, configuration: str) -> "CellResult":
+        """The same statistics under different grid coordinates."""
+        return replace(self, benchmark=benchmark, configuration=configuration)
+
+    # -- JSON round-trip -------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellResult":
+        return _from_known_fields(cls, data)
 
 
 @dataclass
@@ -27,6 +171,13 @@ class BenchmarkResult:
     def overhead_vs(self, baseline: "BenchmarkResult") -> float:
         """Slowdown relative to ``baseline`` as a fraction."""
         return self.cycles / baseline.cycles - 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchmarkResult":
+        return _from_known_fields(cls, data)
 
 
 @dataclass
@@ -73,3 +224,22 @@ class ExperimentResult:
         for note in self.notes:
             lines.append(f"# {note}")
         return "\n".join(lines)
+
+    # -- JSON round-trip -------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "series": {series: dict(values) for series, values in self.series.items()},
+            "summary": dict(self.summary),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            name=data["name"],
+            series={series: dict(values)
+                    for series, values in data.get("series", {}).items()},
+            summary=dict(data.get("summary", {})),
+            notes=list(data.get("notes", [])),
+        )

@@ -15,8 +15,8 @@ Glues the pieces together for the two kinds of runs the evaluation needs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from repro.core.config import WatchdogConfig
 from repro.core.pointer_id import PointerIdStats
@@ -28,6 +28,8 @@ from repro.pipeline.core import OutOfOrderCore, TimingResult
 from repro.program.ir import Program
 from repro.program.machine import ExecutionResult, Machine
 from repro.sim.trace import DynamicOp, TraceExpander
+from repro.workloads.bundle import TraceBundle, WorkingSet, \
+    default_warmup_instructions
 from repro.workloads.profiles import BenchmarkProfile, profile_by_name
 from repro.workloads.synthetic import SyntheticWorkload
 
@@ -65,7 +67,7 @@ class Simulator:
     def run_trace(self, trace: Iterable[DynamicOp], config: WatchdogConfig,
                   name: str = "trace",
                   warmup_trace: Optional[Iterable[DynamicOp]] = None,
-                  workload: Optional[SyntheticWorkload] = None) -> SimulationOutcome:
+                  workload: Optional[WorkingSet] = None) -> SimulationOutcome:
         """Expand and time an already-generated dynamic trace.
 
         ``warmup_trace`` mirrors the §9.1 methodology: its accesses prime the
@@ -95,7 +97,7 @@ class Simulator:
 
     @staticmethod
     def _warm_working_set(core: OutOfOrderCore, config: WatchdogConfig,
-                          workload: SyntheticWorkload) -> None:
+                          workload: WorkingSet) -> None:
         """Touch the workload's entire live working set before measuring.
 
         Brings every data line (and, when metadata is maintained, every
@@ -175,18 +177,36 @@ class Simulator:
         """Generate and time a workload from an explicit profile.
 
         The workload generator produces one continuous dynamic stream; the
-        first ``warmup_instructions`` (default: as long as the measured
+        first ``warmup_instructions`` (default: a quarter of the measured
         portion) warm the caches and the remainder is measured, mirroring the
         warm-up/measure structure of the paper's sampling methodology.
+
+        The measured portion streams straight into the timing core (O(1)
+        trace memory, suitable for very long one-off runs); sweeps that need
+        to replay one trace under many configurations materialize a
+        :class:`TraceBundle` instead and use :meth:`run_bundle`, which
+        produces bit-identical results.
         """
         workload = SyntheticWorkload(profile, seed=seed)
         if warmup_instructions is None:
-            warmup_instructions = max(instructions // 4, 1_000)
+            warmup_instructions = default_warmup_instructions(instructions)
         warmup = workload.trace(warmup_instructions) if warmup_instructions else None
-        outcome = self.run_trace(workload.generate(instructions), config,
-                                 name=profile.name, warmup_trace=warmup,
-                                 workload=workload)
-        return outcome
+        return self.run_trace(workload.generate(instructions), config,
+                              name=profile.name, warmup_trace=warmup,
+                              workload=workload)
+
+    def run_bundle(self, bundle: TraceBundle, config: WatchdogConfig) -> SimulationOutcome:
+        """Time one pre-generated trace bundle under one configuration.
+
+        The bundle is immutable: the same bundle can be replayed under any
+        number of configurations (serially or from several worker processes)
+        and yields exactly the cycles a fresh per-configuration workload
+        generation would have produced.
+        """
+        return self.run_trace(iter(bundle.measured), config,
+                              name=bundle.benchmark,
+                              warmup_trace=bundle.warmup or None,
+                              workload=bundle.working_set)
 
     # -- program detection runs --------------------------------------------------------
     def run_program(self, program: Program, config: WatchdogConfig,

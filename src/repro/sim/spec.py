@@ -1,0 +1,117 @@
+"""Declarative experiment specifications.
+
+The paper's evaluation is one big (benchmark × configuration) grid.  Rather
+than each figure driver hand-rolling its own run loop, a driver *describes*
+its grid:
+
+* :class:`ExperimentSettings` — the sweep-wide knobs (which benchmarks, how
+  many dynamic instructions, which seed),
+* :class:`RunRequest` — one cell of the grid: run *benchmark* under *config*
+  for *instructions* macro-instructions with *seed*,
+* :class:`ExperimentSpec` — a named set of labelled configurations over the
+  settings' benchmarks, expanded to the full list of cells by
+  :meth:`ExperimentSpec.requests`.
+
+The :class:`~repro.sim.engine.SweepEngine` consumes these specs: it decides
+how to execute the cells (serially, on a process pool, or straight from the
+persistent result cache) — the spec stays purely descriptive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import WatchdogConfig
+from repro.workloads.profiles import benchmark_names
+
+#: Default dynamic macro-instruction count per benchmark run.  Large enough
+#: for cache/branch behaviour to settle, small enough to keep the full
+#: 20-benchmark sweeps fast; the benchmark harness can raise it.
+DEFAULT_INSTRUCTIONS = 8_000
+#: Default random seed for the synthetic workloads (reproducibility).
+DEFAULT_SEED = 7
+
+#: Label of the unprotected (Watchdog-disabled) configuration every overhead
+#: experiment compares against.
+BASELINE_LABEL = "baseline"
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by all figure experiments."""
+
+    benchmarks: Tuple[str, ...] = tuple(benchmark_names())
+    instructions: int = DEFAULT_INSTRUCTIONS
+    seed: int = DEFAULT_SEED
+
+    @classmethod
+    def quick(cls, benchmarks: Optional[Sequence[str]] = None,
+              instructions: int = 3_000) -> "ExperimentSettings":
+        """A reduced setting for unit tests (few benchmarks, short traces)."""
+        chosen = tuple(benchmarks) if benchmarks else ("gzip", "mcf", "lbm", "gcc")
+        return cls(benchmarks=chosen, instructions=instructions)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One (benchmark, configuration) cell of an experiment grid."""
+
+    benchmark: str
+    label: str
+    config: WatchdogConfig
+    instructions: int = DEFAULT_INSTRUCTIONS
+    seed: int = DEFAULT_SEED
+    #: ``None`` selects the default warm-up window (see
+    #: :func:`repro.workloads.bundle.default_warmup_instructions`).
+    warmup_instructions: Optional[int] = None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The (benchmark, label) coordinates of this cell in the grid."""
+        return (self.benchmark, self.label)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named (benchmark × configuration) grid, ready to be executed.
+
+    ``configs`` is an ordered sequence of (label, configuration) pairs; label
+    order is preserved so serial and parallel executions enumerate — and
+    therefore report — cells identically.
+    """
+
+    name: str
+    configs: Tuple[Tuple[str, WatchdogConfig], ...]
+    settings: ExperimentSettings = field(default_factory=ExperimentSettings)
+    #: Whether the grid additionally includes the unprotected baseline
+    #: (needed by every experiment that reports slowdowns).
+    include_baseline: bool = True
+
+    @classmethod
+    def build(cls, name: str, configs: Mapping[str, WatchdogConfig],
+              settings: Optional[ExperimentSettings] = None,
+              include_baseline: bool = True) -> "ExperimentSpec":
+        """Build a spec from a label → configuration mapping."""
+        return cls(name=name, configs=tuple(configs.items()),
+                   settings=settings or ExperimentSettings(),
+                   include_baseline=include_baseline)
+
+    def requests(self) -> List[RunRequest]:
+        """Expand the grid into its full, deterministically-ordered cell list."""
+        cells: List[RunRequest] = []
+        pairs: List[Tuple[str, WatchdogConfig]] = []
+        if self.include_baseline:
+            pairs.append((BASELINE_LABEL, WatchdogConfig.disabled()))
+        pairs.extend(self.configs)
+        for benchmark in self.settings.benchmarks:
+            for label, config in pairs:
+                cells.append(RunRequest(
+                    benchmark=benchmark, label=label, config=config,
+                    instructions=self.settings.instructions,
+                    seed=self.settings.seed))
+        return cells
+
+    def __len__(self) -> int:
+        return len(self.settings.benchmarks) * \
+            (len(self.configs) + (1 if self.include_baseline else 0))

@@ -1,0 +1,99 @@
+"""Reusable dynamic-trace bundles.
+
+Workload generation is independent of the Watchdog configuration: the
+synthetic generator picks instructions, addresses and lock locations from the
+benchmark profile and the seed alone.  The old sweep nevertheless regenerated
+the trace for every (benchmark, configuration) cell, which dominated sweep
+wall-clock time.  A :class:`TraceBundle` materializes everything one timing
+run needs — the warm-up stream, the measured stream and a snapshot of the
+workload's live working set — exactly once per (benchmark, seed,
+instructions) and lets the simulator replay it under any number of
+configurations with bit-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.sim.trace import DynamicOp
+from repro.workloads.profiles import BenchmarkProfile, profile_by_name
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def default_warmup_instructions(instructions: int) -> int:
+    """Warm-up window length used when the caller does not choose one.
+
+    A quarter of the measured window (with a floor) mirrors the
+    warm-up/measure structure of the paper's §9.1 sampling methodology at the
+    reproduction's reduced scale.
+    """
+    return max(instructions // 4, 1_000)
+
+
+@dataclass(frozen=True)
+class WorkingSetSnapshot:
+    """The live working set of a workload at one point in its generation.
+
+    Captures what :meth:`Simulator._warm_working_set` needs — the 64-byte
+    data lines and the lock locations of every live object — so the warm-up
+    can be replayed for each configuration without keeping (or re-running)
+    the workload generator itself.
+    """
+
+    lines: Tuple[int, ...]
+    locks: Tuple[int, ...]
+
+    def working_set_lines(self) -> Iterator[int]:
+        return iter(self.lines)
+
+    def lock_locations(self) -> Iterator[int]:
+        return iter(self.locks)
+
+
+#: Anything the simulator's working-set warm-up can consume.
+WorkingSet = Union[SyntheticWorkload, WorkingSetSnapshot]
+
+
+@dataclass(frozen=True)
+class TraceBundle:
+    """One benchmark's dynamic trace, generated once and replayed many times."""
+
+    benchmark: str
+    seed: int
+    instructions: int
+    warmup_instructions: int
+    #: The untimed stream that primes the cache hierarchy.
+    warmup: Tuple[DynamicOp, ...]
+    #: The measured stream the timing model replays.
+    measured: Tuple[DynamicOp, ...]
+    #: Live working set at the warm-up/measure boundary.
+    working_set: WorkingSetSnapshot
+
+    @classmethod
+    def generate(cls, profile: Union[str, BenchmarkProfile], seed: int,
+                 instructions: int,
+                 warmup_instructions: Optional[int] = None) -> "TraceBundle":
+        """Generate the warm-up and measured streams for one benchmark.
+
+        The generation order matches a direct :meth:`Simulator.run_profile`
+        run: the warm-up portion is materialized first, the working set is
+        snapshotted at the warm-up/measure boundary, and the measured portion
+        continues the same generator state — so replaying the bundle is
+        indistinguishable from regenerating the workload per configuration.
+        """
+        if isinstance(profile, str):
+            profile = profile_by_name(profile)
+        if warmup_instructions is None:
+            warmup_instructions = default_warmup_instructions(instructions)
+        workload = SyntheticWorkload(profile, seed=seed)
+        warmup = tuple(workload.trace(warmup_instructions)) \
+            if warmup_instructions else ()
+        snapshot = workload.snapshot_working_set()
+        measured = tuple(workload.trace(instructions))
+        return cls(benchmark=profile.name, seed=seed, instructions=instructions,
+                   warmup_instructions=warmup_instructions, warmup=warmup,
+                   measured=measured, working_set=snapshot)
+
+    def __len__(self) -> int:
+        return len(self.measured)

@@ -16,6 +16,7 @@ experiments.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -85,7 +86,10 @@ class SyntheticWorkload:
     def __init__(self, profile: BenchmarkProfile, seed: int = 0):
         self.profile = profile
         self.seed = seed
-        self.rng = random.Random((hash(profile.name) & 0xFFFF) ^ seed)
+        # crc32 rather than hash(): str hashing is randomized per process, and
+        # the trace must be a pure function of (profile, seed) so that cached
+        # results and worker processes agree with a serial in-process run.
+        self.rng = random.Random((zlib.crc32(profile.name.encode()) & 0xFFFF) ^ seed)
         self.memory = AddressSpace()
         self.identifiers = IdentifierTable(self.memory)
         self.runtime = InstrumentedRuntime(self.memory, identifiers=self.identifiers)
@@ -352,6 +356,20 @@ class SyntheticWorkload:
         for obj in self._objects:
             yield obj.lock
         yield self._global_lock
+
+    def snapshot_working_set(self):
+        """Freeze the current working set for configuration-independent reuse.
+
+        The returned snapshot answers the same two queries the simulator's
+        warm-up asks of the live workload (`working_set_lines`,
+        `lock_locations`) but is immutable and picklable, so one generated
+        trace can be replayed under many Watchdog configurations — including
+        in worker processes — without re-running the generator.
+        """
+        from repro.workloads.bundle import WorkingSetSnapshot
+
+        return WorkingSetSnapshot(lines=tuple(self.working_set_lines()),
+                                  locks=tuple(self.lock_locations()))
 
     @property
     def live_objects(self) -> int:

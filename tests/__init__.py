@@ -1,0 +1,7 @@
+"""Test suite package.
+
+Being a package (rather than a loose directory) gives the test modules a
+unique import namespace, so ``tests/conftest.py`` and
+``benchmarks/conftest.py`` can coexist in one pytest session instead of
+colliding on the top-level module name ``conftest``.
+"""

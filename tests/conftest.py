@@ -1,11 +1,15 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain helper functions (program builders) live in :mod:`tests.helpers` so
+test modules can import them explicitly; importing from ``conftest`` breaks
+as soon as another conftest module exists in the same session.
+"""
 
 import pytest
 
 from repro.core.config import WatchdogConfig
 from repro.core.watchdog import Watchdog
 from repro.memory.address_space import AddressSpace
-from repro.program.builder import ProgramBuilder
 from repro.program.machine import Machine
 
 
@@ -46,27 +50,3 @@ def watchdog(uaf_config):
 def machine(uaf_config):
     """A functional machine under the ISA-assisted UAF configuration."""
     return Machine(uaf_config)
-
-
-def build_uaf_program():
-    """The Figure 1 (left) heap use-after-free program."""
-    builder = ProgramBuilder()
-    with builder.function("main") as main:
-        main.malloc("r1", 64)
-        main.mov("r2", "r1")
-        main.free("r1")
-        main.malloc("r3", 64)
-        main.load("r4", "r2")
-    return builder.build()
-
-
-def build_benign_program():
-    """A correct program: allocate, use, free."""
-    builder = ProgramBuilder()
-    with builder.function("main") as main:
-        main.malloc("r1", 64)
-        main.mov_imm("r8", 42)
-        main.store("r1", "r8", 8)
-        main.load("r9", "r1", 8)
-        main.free("r1")
-    return builder.build()

@@ -1,0 +1,31 @@
+"""Shared program builders for the test suite.
+
+Importable as :mod:`tests.helpers` — test modules must not import from
+``conftest`` (two conftest modules in one session shadow each other).
+"""
+
+from repro.program.builder import ProgramBuilder
+
+
+def build_uaf_program():
+    """The Figure 1 (left) heap use-after-free program."""
+    builder = ProgramBuilder()
+    with builder.function("main") as main:
+        main.malloc("r1", 64)
+        main.mov("r2", "r1")
+        main.free("r1")
+        main.malloc("r3", 64)
+        main.load("r4", "r2")
+    return builder.build()
+
+
+def build_benign_program():
+    """A correct program: allocate, use, free."""
+    builder = ProgramBuilder()
+    with builder.function("main") as main:
+        main.malloc("r1", 64)
+        main.mov_imm("r8", 42)
+        main.store("r1", "r8", 8)
+        main.load("r9", "r1", 8)
+        main.free("r1")
+    return builder.build()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_benign_program, build_uaf_program
+from tests.helpers import build_benign_program, build_uaf_program
 from repro.core.config import WatchdogConfig
 from repro.errors import UseAfterFreeError
 from repro.isa.registers import int_reg, parse_reg

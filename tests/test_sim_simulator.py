@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_uaf_program
+from tests.helpers import build_uaf_program
 from repro.core.config import WatchdogConfig
 from repro.sim.simulator import Simulator
 from repro.workloads.profiles import profile_by_name
