@@ -73,6 +73,29 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--clear", action="store_true",
                        help="delete every cached cell (e.g. entries orphaned "
                             "by code changes)")
+
+    bench = sub.add_parser(
+        "bench", help="time the fig7 cell matrix and write BENCH_<rev>.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced scale: 4 benchmarks, short traces "
+                            "(what the CI perf-smoke job runs)")
+    bench.add_argument("--benchmarks", "-b", metavar="A,B,...",
+                       help="comma-separated benchmark subset")
+    bench.add_argument("--instructions", "-n", type=int, default=None,
+                       metavar="N", help="dynamic macro instructions per run")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="workload seed (default: 7)")
+    bench.add_argument("--no-reference", action="store_true",
+                       help="skip timing the reference object pipeline")
+    bench.add_argument("--output", "-o", metavar="FILE", default=None,
+                       help="output path (default: BENCH_<rev>.json)")
+    bench.add_argument("--check", metavar="BASELINE.json", default=None,
+                       help="fail if uops/sec regresses beyond the tolerance "
+                            "vs this baseline record")
+    bench.add_argument("--max-regression", type=float, default=0.30,
+                       metavar="FRACTION",
+                       help="allowed throughput regression for --check "
+                            "(default: 0.30)")
     return parser
 
 
@@ -122,17 +145,22 @@ def _cmd_run(args) -> int:
     engine = SweepEngine(workers=args.workers, cache=cache)
     sweep = OverheadSweep(settings, engine=engine)
 
-    for name in names:
-        module = EXPERIMENTS[name]
-        started = time.perf_counter()
-        if name in SWEEP_EXPERIMENTS:
-            result = module.run(sweep=sweep)
-        else:
-            result = module.run()
-        elapsed = time.perf_counter() - started
-        print(f"=== {result.name} ({elapsed:.1f}s) ===")
-        print(result.format_table())
-        print()
+    try:
+        for name in names:
+            module = EXPERIMENTS[name]
+            started = time.perf_counter()
+            if name in SWEEP_EXPERIMENTS:
+                result = module.run(sweep=sweep)
+            else:
+                result = module.run()
+            elapsed = time.perf_counter() - started
+            print(f"=== {result.name} ({elapsed:.1f}s) ===")
+            print(result.format_table())
+            print()
+    finally:
+        # Join the worker pool before interpreter teardown; relying on the
+        # stdlib atexit hook can race fd teardown and spew spurious OSErrors.
+        engine.close()
 
     if cache is not None:
         print(f"[engine] simulated {engine.simulated_cells} cells, "
@@ -141,6 +169,36 @@ def _cmd_run(args) -> int:
     else:
         print(f"[engine] simulated {engine.simulated_cells} cells, "
               f"workers {engine.workers}, cache disabled")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.sim import bench
+
+    kwargs = {}
+    if args.instructions is not None:
+        kwargs["instructions"] = args.instructions
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    record = bench.run_bench(
+        benchmarks=tuple(args.benchmarks.split(",")) if args.benchmarks else None,
+        include_reference=not args.no_reference,
+        quick=args.quick,
+        **kwargs)
+    print(bench.format_summary(record))
+    path = bench.write_record(record, output=args.output)
+    print(f"[bench] wrote {path}")
+    if args.check:
+        try:
+            ok, message = bench.check_against_baseline(
+                record, args.check, max_regression=args.max_regression)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"[bench] cannot read baseline {args.check}: {error!r}",
+                  file=sys.stderr)
+            return 2
+        print(f"[bench] {message}")
+        if not ok:
+            return 1
     return 0
 
 
@@ -160,6 +218,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_run(args)
 
 

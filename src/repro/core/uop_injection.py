@@ -87,6 +87,11 @@ class UopInjector:
         self.decoder = decoder or Decoder()
         self.pointer_identifier = pointer_identifier or make_identifier(config.conservative)
         self.stats = InjectionStats()
+        #: Stamp of the most recent :meth:`expand` call.  Every µop of one
+        #: expansion carries the same stamp, and stamps increase monotonically
+        #: per dynamic macro instance, so the timing model can count macro
+        #: instructions without relying on (reusable) object identity.
+        self.last_macro_seq = -1
 
     # -- helpers -----------------------------------------------------------------
     def _check_uops(self, inst: Instruction) -> List[MicroOp]:
@@ -111,7 +116,18 @@ class UopInjector:
 
     # -- main entry point -----------------------------------------------------------
     def expand(self, inst: Instruction) -> List[MicroOp]:
-        """Decode ``inst`` and inject the Watchdog µops around it."""
+        """Decode ``inst`` and inject the Watchdog µops around it.
+
+        Every returned µop is stamped with a fresh ``macro_seq``: one stamp
+        per dynamic expansion, shared by all µops of the expansion.
+        """
+        uops = self._expand(inst)
+        self.last_macro_seq = stamp = self.last_macro_seq + 1
+        for uop in uops:
+            uop.macro_seq = stamp
+        return uops
+
+    def _expand(self, inst: Instruction) -> List[MicroOp]:
         baseline = self.decoder.decode(inst)
         self.stats.baseline_uops += sum(uop.uop_cost for uop in baseline)
 
@@ -191,3 +207,68 @@ class UopInjector:
         for inst in instructions:
             uops.extend(self.expand(inst))
         return uops
+
+
+# -- template compilation ------------------------------------------------------------
+#
+# For a fixed configuration (and the default, stateless pointer identifiers)
+# the expansion of a macro instruction is a pure function of the instruction's
+# *static identity*: opcode, register operands, access size and pointer hint.
+# The compiled trace pipeline therefore runs the injector once per identity,
+# snapshots the µop list and the statistics it contributed, and replays that
+# template for every later dynamic instance — a list lookup instead of
+# re-running decode + injection per instance.
+
+#: Field order used by template statistic deltas (mirrors InjectionStats).
+STAT_FIELDS = ("baseline_uops", "check_uops", "bounds_check_uops",
+               "pointer_load_uops", "pointer_store_uops", "select_uops",
+               "frame_uops", "other_uops")
+
+
+@dataclass(frozen=True)
+class InjectionTemplate:
+    """The precompiled expansion of one static instruction identity.
+
+    ``uops`` is the exact µop list the injector produced (shared, never
+    mutated); ``stat_delta`` / ``pointer_delta`` are the per-expansion
+    contributions to :class:`InjectionStats` and
+    :class:`~repro.core.pointer_id.PointerIdStats`, so a trace's totals are
+    ``sum(instances(t) * t.delta for t in templates)`` — bit-identical to
+    accumulating them one dynamic instance at a time.
+    """
+
+    uops: tuple
+    stat_delta: tuple
+    pointer_delta: tuple
+
+    @property
+    def total_cost(self) -> int:
+        return sum(u.uop_cost for u in self.uops)
+
+
+def stats_snapshot(stats: InjectionStats) -> tuple:
+    """The stat fields as a plain tuple (for cheap delta computation)."""
+    return tuple(getattr(stats, name) for name in STAT_FIELDS)
+
+
+def compile_template(injector: UopInjector, inst: Instruction,
+                     expand=None) -> InjectionTemplate:
+    """Run one expansion of ``inst`` and capture the µop list + stat deltas.
+
+    ``expand`` defaults to the injector's raw expansion; callers that wrap
+    the injector (e.g. the trace expander's copy-elimination ablation, which
+    appends its own µop and contributes to the statistics) pass their full
+    expansion so the template captures exactly what one dynamic instance
+    would have produced.
+    """
+    identifier = injector.pointer_identifier
+    before = stats_snapshot(injector.stats)
+    before_ptr = (identifier.stats.memory_ops, identifier.stats.pointer_ops)
+    uops = expand(inst) if expand is not None else injector._expand(inst)
+    after = stats_snapshot(injector.stats)
+    after_ptr = (identifier.stats.memory_ops, identifier.stats.pointer_ops)
+    return InjectionTemplate(
+        uops=tuple(uops),
+        stat_delta=tuple(a - b for a, b in zip(after, before)),
+        pointer_delta=(after_ptr[0] - before_ptr[0], after_ptr[1] - before_ptr[1]),
+    )

@@ -98,6 +98,17 @@ class Opcode(enum.Enum):
     SETBOUNDS = "setbounds"
 
 
+# Small integer codes attached to the enum members themselves: the compiled
+# trace pipeline builds template keys out of millions of dynamic instruction
+# instances, and an attribute load is ~2x faster than hashing an enum member
+# into a dict (enum.__hash__ is a Python-level call).
+for _i, _member in enumerate(Opcode):
+    _member.code = _i
+for _i, _member in enumerate(PointerHint):
+    _member.code = _i
+del _i, _member
+
+
 #: Opcodes whose destination can never be a valid pointer; the renamer marks
 #: their metadata mapping invalid instead of propagating (§6.2).
 NON_POINTER_PRODUCERS = frozenset(

@@ -53,6 +53,15 @@ class UopKind(enum.Enum):
     NOP = "nop"
 
 
+# Stable small-int codes for each µop kind, attached to the members (an
+# attribute load beats hashing the enum).  The compiled timing pipeline packs
+# these into its per-µop flag words.
+for _i, _member in enumerate(UopKind):
+    _member.code = _i
+KIND_COUNT = len(UopKind)
+del _i, _member
+
+
 #: µop kinds injected by Watchdog (as opposed to cracked from the program's
 #: own macro instructions).  Used for the Figure 8 µop-overhead breakdown.
 WATCHDOG_KINDS = frozenset(
@@ -112,6 +121,13 @@ class MicroOp:
     macro: Optional[Instruction] = None
     #: Sequence number, assigned at creation, unique within a process.
     seq: int = field(default_factory=lambda: next(_uop_ids))
+    #: Monotonic id of the *dynamic macro instance* this µop was injected
+    #: for, stamped by :class:`~repro.core.uop_injection.UopInjector` — all
+    #: µops of one expansion share one stamp.  ``-1`` means "not stamped"
+    #: (hand-built µops); the timing model then falls back to object-identity
+    #: macro counting.  Unlike ``id(macro)``, stamps are never reused, so two
+    #: distinct macro instances can never be silently merged.
+    macro_seq: int = -1
 
     def __post_init__(self) -> None:
         if not isinstance(self.srcs, tuple):

@@ -54,8 +54,20 @@ class ArchReg:
 NUM_INT_REGS = 16
 NUM_FP_REGS = 16
 
+#: Total number of flat register *slots* (integer registers first, then FP).
+#: The compiled timing pipeline indexes its readiness scoreboards by slot
+#: instead of hashing :class:`ArchReg` objects.
+NUM_REG_SLOTS = NUM_INT_REGS + NUM_FP_REGS
+
 INT_REGS = tuple(ArchReg(RegClass.INT, i) for i in range(NUM_INT_REGS))
 FP_REGS = tuple(ArchReg(RegClass.FP, i) for i in range(NUM_FP_REGS))
+
+
+def reg_slot(reg: "ArchReg") -> int:
+    """Flat scoreboard slot of a register (int regs first, then FP regs)."""
+    if reg.regclass is RegClass.INT:
+        return reg.index
+    return NUM_INT_REGS + reg.index
 
 #: The stack pointer register (``%rsp`` in the paper's figures).  The hardware
 #: associates a per-stack-frame identifier with this register on call/return

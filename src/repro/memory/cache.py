@@ -54,8 +54,15 @@ class Cache:
     def __init__(self, config: CacheConfig):
         self.config = config
         #: set index -> OrderedDict of block address -> dirty flag (LRU order:
-        #: oldest first).
-        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(config.num_sets)]
+        #: oldest first).  Sets are allocated on first touch: a 16MB L3 has
+        #: 16384 sets, and eagerly building an OrderedDict for each made
+        #: hierarchy construction a measurable per-simulation cost.
+        self._sets: Dict[int, OrderedDict] = {}
+        # Geometry bound to plain attributes: the hot paths (and the
+        # hierarchy's batch loops) must not pay a property call per access.
+        self._num_sets = config.num_sets
+        self._block_bytes = config.block_bytes
+        self._assoc = config.associativity
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -63,16 +70,22 @@ class Cache:
 
     # -- geometry -----------------------------------------------------------
     def block_address(self, address: int) -> int:
-        return address // self.config.block_bytes
+        return address // self._block_bytes
 
     def set_index(self, block_address: int) -> int:
-        return block_address % self.config.num_sets
+        return block_address % self._num_sets
+
+    def _set_for(self, index: int) -> OrderedDict:
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = OrderedDict()
+        return cache_set
 
     # -- access --------------------------------------------------------------
     def access(self, address: int, is_write: bool = False) -> AccessResult:
         """Access ``address``; allocate on miss; return hit/miss and latency."""
-        block = self.block_address(address)
-        cache_set = self._sets[self.set_index(block)]
+        block = address // self._block_bytes
+        cache_set = self._set_for(block % self._num_sets)
 
         if block in cache_set:
             cache_set.move_to_end(block)
@@ -83,7 +96,7 @@ class Cache:
 
         self.misses += 1
         evicted = None
-        if len(cache_set) >= self.config.associativity:
+        if len(cache_set) >= self._assoc:
             evicted, dirty = cache_set.popitem(last=False)
             self.evictions += 1
             if dirty:
@@ -92,19 +105,46 @@ class Cache:
         return AccessResult(hit=False, latency=self.config.hit_latency,
                             evicted_block=evicted)
 
+    def lookup(self, address: int, is_write: bool = False) -> bool:
+        """Demand access returning only hit/miss (no :class:`AccessResult`).
+
+        State transitions and statistics are identical to :meth:`access`;
+        this is the allocation-free variant the memory hierarchy's hot loops
+        use — the caller derives the latency from the cache's configuration.
+        """
+        block = address // self._block_bytes
+        cache_set = self._sets.get(block % self._num_sets)
+        if cache_set is None:
+            cache_set = self._sets[block % self._num_sets] = OrderedDict()
+        if block in cache_set:
+            cache_set.move_to_end(block)
+            if is_write:
+                cache_set[block] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(cache_set) >= self._assoc:
+            _, dirty = cache_set.popitem(last=False)
+            self.evictions += 1
+            if dirty:
+                self.writebacks += 1
+        cache_set[block] = is_write
+        return False
+
     def probe(self, address: int) -> bool:
         """Check residency without updating LRU state or statistics."""
-        block = self.block_address(address)
-        return block in self._sets[self.set_index(block)]
+        block = address // self._block_bytes
+        cache_set = self._sets.get(block % self._num_sets)
+        return cache_set is not None and block in cache_set
 
     def install(self, address: int) -> None:
         """Install a block without counting it as a demand access (prefetch)."""
-        block = self.block_address(address)
-        cache_set = self._sets[self.set_index(block)]
+        block = address // self._block_bytes
+        cache_set = self._set_for(block % self._num_sets)
         if block in cache_set:
             cache_set.move_to_end(block)
             return
-        if len(cache_set) >= self.config.associativity:
+        if len(cache_set) >= self._assoc:
             _, dirty = cache_set.popitem(last=False)
             self.evictions += 1
             if dirty:
@@ -127,5 +167,4 @@ class Cache:
         self.hits = self.misses = self.evictions = self.writebacks = 0
 
     def flush(self) -> None:
-        for cache_set in self._sets:
-            cache_set.clear()
+        self._sets.clear()

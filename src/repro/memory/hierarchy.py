@@ -22,6 +22,8 @@ but never miss and never displace data).
 from __future__ import annotations
 
 import enum
+import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -43,6 +45,15 @@ class PortKind(enum.Enum):
     DATA = "data"
     LOCK = "lock"
     SHADOW = "shadow"
+
+
+#: Small-int port codes used by the compiled trace pipeline's packed access
+#: specs (``spec = port | is_write << 2 | use_latency << 3``).
+PORT_DATA, PORT_LOCK, PORT_SHADOW = 0, 1, 2
+PORT_CODES = {PortKind.DATA: PORT_DATA, PortKind.LOCK: PORT_LOCK,
+              PortKind.SHADOW: PORT_SHADOW}
+SPEC_WRITE = 4
+SPEC_USE_LATENCY = 8
 
 
 @dataclass(frozen=True)
@@ -106,12 +117,10 @@ class MemoryHierarchy:
     # -- lower levels --------------------------------------------------------
     def _access_beyond_l1(self, address: int, is_write: bool) -> int:
         """Access L2, then L3, then DRAM; return the added latency."""
-        l2_result = self.l2.access(address, is_write)
-        if l2_result.hit:
+        if self.l2.lookup(address, is_write):
             return self.config.l2.hit_latency
         self.l2_prefetcher.on_miss(address)
-        l3_result = self.l3.access(address, is_write)
-        if l3_result.hit:
+        if self.l3.lookup(address, is_write):
             return self.config.l2.hit_latency + self.config.l3.hit_latency
         return (self.config.l2.hit_latency + self.config.l3.hit_latency
                 + self.config.dram_latency)
@@ -131,10 +140,8 @@ class MemoryHierarchy:
         return self._data_access(address, is_write, port)
 
     def _data_access(self, address: int, is_write: bool, port: PortKind) -> int:
-        latency = self.dtlb.access(address)
-        result = self.l1d.access(address, is_write)
-        latency += result.latency
-        if not result.hit:
+        latency = self.dtlb.access(address) + self.config.l1d.hit_latency
+        if not self.l1d.lookup(address, is_write):
             self.l1d_prefetcher.on_miss(address)
             latency += self._access_beyond_l1(address, is_write)
         # The shared L3 is inclusive (as on the Sandy Bridge parts Table 2
@@ -148,14 +155,309 @@ class MemoryHierarchy:
         return latency
 
     def _lock_access(self, address: int, is_write: bool) -> int:
-        latency = self.lock_tlb.access(address)
-        result = self.lock_cache.access(address, is_write)
-        latency += result.latency
-        if not result.hit:
+        latency = self.lock_tlb.access(address) + self.config.lock_cache.hit_latency
+        if not self.lock_cache.lookup(address, is_write):
             latency += self._access_beyond_l1(address, is_write)
         self.l3.install(address)
         self.stats.record("lock", latency)
         return latency
+
+    # -- batched access (compiled trace pipeline) -----------------------------
+    #
+    # The compiled pipeline separates hierarchy replay from µop scheduling:
+    # the access *order* of a timed µop stream is its program order, so all
+    # cache/TLB/prefetcher state transitions — and the load latencies the
+    # scheduler needs — can be produced in one tight pass.  The two methods
+    # below are semantically identical to calling :meth:`access` once per
+    # element in sequence; they inline the L1/TLB hit paths and keep the
+    # counters in locals, which is where the per-access overhead lives.
+
+    def access_batch(self, addrs, specs, positions, lats) -> None:
+        """Replay a demand-access sequence, filling per-µop load latencies.
+
+        ``specs`` carries ``port | is_write << 2 | use_latency << 3`` per
+        access; accesses with the use-latency bit store their latency into
+        ``lats[positions[i]]`` (loads); the rest only update hierarchy state
+        and statistics (stores retire at fixed latency off the critical
+        path).  State transitions and statistics are bit-identical to the
+        equivalent :meth:`access` sequence.
+        """
+        config = self.config
+        lock_en = config.lock_cache_enabled
+        ideal = config.ideal_shadow
+        l1 = self.l1d
+        l1_sets = l1._sets
+        l1_nsets = l1.config.num_sets
+        l1_bb = l1.config.block_bytes
+        l1_assoc = l1.config.associativity
+        l1_lat = config.l1d.hit_latency
+        l1_hits = l1_misses = l1_evd = l1_wb = 0
+        lk = self.lock_cache
+        lk_sets = lk._sets
+        lk_nsets = lk.config.num_sets
+        lk_bb = lk.config.block_bytes
+        lk_assoc = lk.config.associativity
+        lk_lat = config.lock_cache.hit_latency
+        lk_hits = lk_misses = lk_evd = lk_wb = 0
+        l3 = self.l3
+        l3_sets = l3._sets
+        l3_nsets = l3.config.num_sets
+        l3_bb = l3.config.block_bytes
+        l3_assoc = l3.config.associativity
+        l3_evd = l3_wb = 0
+        dtlb = self.dtlb
+        dtlb_map = dtlb._entries
+        dtlb_pb = dtlb.config.page_bytes
+        dtlb_cap = dtlb.config.entries
+        dtlb_pen = dtlb.config.miss_penalty
+        dtlb_hits = dtlb_misses = 0
+        ltlb = self.lock_tlb
+        ltlb_map = ltlb._entries
+        ltlb_pb = ltlb.config.page_bytes
+        ltlb_cap = ltlb.config.entries
+        ltlb_pen = ltlb.config.miss_penalty
+        ltlb_hits = ltlb_misses = 0
+        dtlb_last = ltlb_last = -1
+        beyond = self._access_beyond_l1
+        prefetch = self.l1d_prefetcher.on_miss
+        counts = [0, 0, 0]
+        waits = [0, 0, 0]
+
+        for a, spec, pos in zip(addrs, specs, positions):
+            port = spec & 3
+            if port == 1 and lock_en:
+                # -- dedicated lock location cache (no L1 prefetcher) -------
+                page = a // ltlb_pb
+                if page == ltlb_last:
+                    ltlb_hits += 1
+                    lat = lk_lat
+                elif page in ltlb_map:
+                    ltlb_map.move_to_end(page)
+                    ltlb_hits += 1
+                    ltlb_last = page
+                    lat = lk_lat
+                else:
+                    ltlb_misses += 1
+                    if len(ltlb_map) >= ltlb_cap:
+                        ltlb_map.popitem(last=False)
+                    ltlb_map[page] = True
+                    ltlb_last = page
+                    lat = ltlb_pen + lk_lat
+                block = a // lk_bb
+                idx = block % lk_nsets
+                cset = lk_sets.get(idx)
+                if cset is None:
+                    cset = lk_sets[idx] = OrderedDict()
+                if block in cset:
+                    cset.move_to_end(block)
+                    lk_hits += 1
+                    if spec & 4:
+                        cset[block] = True
+                else:
+                    lk_misses += 1
+                    if len(cset) >= lk_assoc:
+                        _, dirty = cset.popitem(last=False)
+                        lk_evd += 1
+                        if dirty:
+                            lk_wb += 1
+                    cset[block] = True if spec & 4 else False
+                    lat += beyond(a, bool(spec & 4))
+            elif port == 2 and ideal:
+                # Idealized shadow: a port-occupying L1 hit, no allocation.
+                lat = l1_lat
+                counts[2] += 1
+                waits[2] += lat
+                if spec & 8:
+                    lats[pos] = lat
+                continue
+            else:
+                # -- the L1 data cache (data, shadow, lock-on-data) ----------
+                page = a // dtlb_pb
+                if page == dtlb_last:
+                    dtlb_hits += 1
+                    lat = l1_lat
+                elif page in dtlb_map:
+                    dtlb_map.move_to_end(page)
+                    dtlb_hits += 1
+                    dtlb_last = page
+                    lat = l1_lat
+                else:
+                    dtlb_misses += 1
+                    if len(dtlb_map) >= dtlb_cap:
+                        dtlb_map.popitem(last=False)
+                    dtlb_map[page] = True
+                    dtlb_last = page
+                    lat = dtlb_pen + l1_lat
+                block = a // l1_bb
+                idx = block % l1_nsets
+                cset = l1_sets.get(idx)
+                if cset is None:
+                    cset = l1_sets[idx] = OrderedDict()
+                if block in cset:
+                    cset.move_to_end(block)
+                    l1_hits += 1
+                    if spec & 4:
+                        cset[block] = True
+                else:
+                    l1_misses += 1
+                    if len(cset) >= l1_assoc:
+                        _, dirty = cset.popitem(last=False)
+                        l1_evd += 1
+                        if dirty:
+                            l1_wb += 1
+                    cset[block] = True if spec & 4 else False
+                    prefetch(a)
+                    lat += beyond(a, bool(spec & 4))
+            # inclusive L3 install (demand accesses of every class)
+            block = a // l3_bb
+            idx = block % l3_nsets
+            cset = l3_sets.get(idx)
+            if cset is None:
+                cset = l3_sets[idx] = OrderedDict()
+            if block in cset:
+                cset.move_to_end(block)
+            else:
+                if len(cset) >= l3_assoc:
+                    _, dirty = cset.popitem(last=False)
+                    l3_evd += 1
+                    if dirty:
+                        l3_wb += 1
+                cset[block] = False
+            counts[port] += 1
+            waits[port] += lat
+            if spec & 8:
+                lats[pos] = lat
+
+        # -- merge local counters back into the shared statistics ------------
+        l1.hits += l1_hits
+        l1.misses += l1_misses
+        l1.evictions += l1_evd
+        l1.writebacks += l1_wb
+        lk.hits += lk_hits
+        lk.misses += lk_misses
+        lk.evictions += lk_evd
+        lk.writebacks += lk_wb
+        l3.evictions += l3_evd
+        l3.writebacks += l3_wb
+        dtlb.hits += dtlb_hits
+        dtlb.misses += dtlb_misses
+        ltlb.hits += ltlb_hits
+        ltlb.misses += ltlb_misses
+        names = ("data",
+                 "lock" if lock_en else "lock-on-data",
+                 "shadow-ideal" if ideal else "shadow")
+        accesses = self.stats.accesses
+        total_latency = self.stats.total_latency
+        for code in (0, 1, 2):
+            if counts[code]:
+                name = names[code]
+                accesses[name] = accesses.get(name, 0) + counts[code]
+                total_latency[name] = total_latency.get(name, 0) + waits[code]
+
+    def warm_batch(self, addrs, specs) -> None:
+        """Replay accesses for warm-up: state transitions only, no counters.
+
+        Callers reset every statistic right after warming, so only cache,
+        TLB and prefetcher *state* is observable — skipping the counters
+        makes the warm-up replay considerably cheaper.  ``specs`` is either
+        a per-access sequence or one int applied to every address.  Shadow
+        accesses under the ideal-shadow ablation change no state and are
+        skipped entirely (matching :meth:`access`).
+        """
+        if isinstance(specs, int):
+            specs = itertools.repeat(specs)
+        config = self.config
+        lock_en = config.lock_cache_enabled
+        ideal = config.ideal_shadow
+        l1 = self.l1d
+        l1_sets = l1._sets
+        l1_nsets = l1.config.num_sets
+        l1_bb = l1.config.block_bytes
+        l1_assoc = l1.config.associativity
+        lk = self.lock_cache
+        lk_sets = lk._sets
+        lk_nsets = lk.config.num_sets
+        lk_bb = lk.config.block_bytes
+        lk_assoc = lk.config.associativity
+        l3 = self.l3
+        l3_sets = l3._sets
+        l3_nsets = l3.config.num_sets
+        l3_bb = l3.config.block_bytes
+        l3_assoc = l3.config.associativity
+        dtlb_map = self.dtlb._entries
+        dtlb_pb = self.dtlb.config.page_bytes
+        dtlb_cap = self.dtlb.config.entries
+        ltlb_map = self.lock_tlb._entries
+        ltlb_pb = self.lock_tlb.config.page_bytes
+        ltlb_cap = self.lock_tlb.config.entries
+        dtlb_last = ltlb_last = -1
+        beyond = self._access_beyond_l1
+        prefetch = self.l1d_prefetcher.on_miss
+
+        for a, spec in zip(addrs, specs):
+            port = spec & 3
+            if port == 1 and lock_en:
+                page = a // ltlb_pb
+                if page != ltlb_last:
+                    if page in ltlb_map:
+                        ltlb_map.move_to_end(page)
+                    else:
+                        if len(ltlb_map) >= ltlb_cap:
+                            ltlb_map.popitem(last=False)
+                        ltlb_map[page] = True
+                    ltlb_last = page
+                block = a // lk_bb
+                idx = block % lk_nsets
+                cset = lk_sets.get(idx)
+                if cset is None:
+                    cset = lk_sets[idx] = OrderedDict()
+                if block in cset:
+                    cset.move_to_end(block)
+                    if spec & 4:
+                        cset[block] = True
+                else:
+                    if len(cset) >= lk_assoc:
+                        cset.popitem(last=False)
+                    cset[block] = True if spec & 4 else False
+                    beyond(a, bool(spec & 4))
+            elif port == 2 and ideal:
+                continue
+            else:
+                page = a // dtlb_pb
+                if page != dtlb_last:
+                    if page in dtlb_map:
+                        dtlb_map.move_to_end(page)
+                    else:
+                        if len(dtlb_map) >= dtlb_cap:
+                            dtlb_map.popitem(last=False)
+                        dtlb_map[page] = True
+                    dtlb_last = page
+                block = a // l1_bb
+                idx = block % l1_nsets
+                cset = l1_sets.get(idx)
+                if cset is None:
+                    cset = l1_sets[idx] = OrderedDict()
+                if block in cset:
+                    cset.move_to_end(block)
+                    if spec & 4:
+                        cset[block] = True
+                else:
+                    if len(cset) >= l1_assoc:
+                        cset.popitem(last=False)
+                    cset[block] = True if spec & 4 else False
+                    prefetch(a)
+                    beyond(a, bool(spec & 4))
+            block = a // l3_bb
+            idx = block % l3_nsets
+            cset = l3_sets.get(idx)
+            if cset is None:
+                cset = l3_sets[idx] = OrderedDict()
+            if block in cset:
+                cset.move_to_end(block)
+            else:
+                if len(cset) >= l3_assoc:
+                    cset.popitem(last=False)
+                cset[block] = False
 
     # -- statistics ----------------------------------------------------------
     def lock_cache_mpki(self, instructions: int) -> float:

@@ -9,6 +9,7 @@ installs the next ``depth`` blocks into the target cache.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -66,13 +67,37 @@ class StreamPrefetcher:
         self._streams.append(_Stream(last_block=block))
 
     def _issue(self, stream: _Stream) -> None:
-        block_bytes = self.cache.config.block_bytes
+        # Equivalent to cache.install() of each of the next ``depth`` blocks,
+        # inlined: on sequential miss storms (working-set warm-up) this loop
+        # runs hundreds of thousands of times per simulation.
+        cache = self.cache
+        sets = cache._sets
+        num_sets = cache._num_sets
+        assoc = cache._assoc
+        last_block = stream.last_block
+        direction = stream.direction
+        evictions = writebacks = issued = 0
         for i in range(1, self.config.depth + 1):
-            target_block = stream.last_block + i * stream.direction
-            if target_block < 0:
+            block = last_block + i * direction
+            if block < 0:
                 continue
-            self.cache.install(target_block * block_bytes)
-            self.prefetches_issued += 1
+            issued += 1
+            index = block % num_sets
+            cache_set = sets.get(index)
+            if cache_set is None:
+                sets[index] = cache_set = OrderedDict()
+            if block in cache_set:
+                cache_set.move_to_end(block)
+                continue
+            if len(cache_set) >= assoc:
+                _, dirty = cache_set.popitem(last=False)
+                evictions += 1
+                if dirty:
+                    writebacks += 1
+            cache_set[block] = False
+        cache.evictions += evictions
+        cache.writebacks += writebacks
+        self.prefetches_issued += issued
 
     def reset_stats(self) -> None:
         self.prefetches_issued = 0

@@ -24,17 +24,43 @@ the *relative* overheads the paper reports.
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, Optional
 
 from repro.core.config import WatchdogConfig
 from repro.isa.microops import UopKind, WATCHDOG_KINDS
-from repro.isa.registers import ArchReg
+from repro.isa.registers import NUM_REG_SLOTS, ArchReg
 from repro.memory.hierarchy import MemoryHierarchy, PortKind
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.resources import FunctionalUnits
 from repro.sim.trace import TimedUop
+
+# -- per-µop flag word of the compiled stream format ----------------------------------
+# Bits 0-4 hold the UopKind code; the compiler (repro.sim.compiled) packs
+# these and the array scheduler below consumes them.
+FLAG_KIND_MASK = 31
+FLAG_LQ = 32          #: µop occupies the load queue
+FLAG_SQ = 64          #: µop occupies the store queue
+FLAG_BRANCH = 128     #: µop is a branch
+FLAG_MISPREDICT = 256  #: branch instance was mispredicted
+
+
+@functools.lru_cache(maxsize=64)
+def _derived_hierarchy_config(base, lock_cache_enabled: bool,
+                              ideal_shadow: bool):
+    """The machine's hierarchy config with the Watchdog knobs applied.
+
+    Memoized: sweeps construct one core per cell, and rebuilding the frozen
+    config dataclass (validation included) thousands of times is measurable.
+    """
+    return base.__class__(
+        l1d=base.l1d, l2=base.l2, l3=base.l3, lock_cache=base.lock_cache,
+        l1d_prefetcher=base.l1d_prefetcher, l2_prefetcher=base.l2_prefetcher,
+        l1_tlb=base.l1_tlb, lock_tlb=base.lock_tlb,
+        dram_latency=base.dram_latency,
+        lock_cache_enabled=lock_cache_enabled, ideal_shadow=ideal_shadow)
 
 
 @dataclass
@@ -69,20 +95,12 @@ class OutOfOrderCore:
                  hierarchy: Optional[MemoryHierarchy] = None):
         self.machine = machine or MachineConfig()
         self.watchdog = watchdog or WatchdogConfig()
-        hierarchy_config = self.machine.hierarchy
         if hierarchy is None:
             # The Watchdog configuration decides whether the lock cache exists
             # and whether shadow accesses are idealized.
-            hierarchy_config = hierarchy_config.__class__(
-                l1d=hierarchy_config.l1d, l2=hierarchy_config.l2,
-                l3=hierarchy_config.l3, lock_cache=hierarchy_config.lock_cache,
-                l1d_prefetcher=hierarchy_config.l1d_prefetcher,
-                l2_prefetcher=hierarchy_config.l2_prefetcher,
-                l1_tlb=hierarchy_config.l1_tlb, lock_tlb=hierarchy_config.lock_tlb,
-                dram_latency=hierarchy_config.dram_latency,
-                lock_cache_enabled=self.watchdog.lock_cache_enabled,
-                ideal_shadow=self.watchdog.ideal_shadow)
-            hierarchy = MemoryHierarchy(hierarchy_config)
+            hierarchy = MemoryHierarchy(_derived_hierarchy_config(
+                self.machine.hierarchy, self.watchdog.lock_cache_enabled,
+                self.watchdog.ideal_shadow))
         self.hierarchy = hierarchy
         self.units = FunctionalUnits(self.machine.functional_units, self.watchdog)
 
@@ -132,16 +150,25 @@ class OutOfOrderCore:
         macro_instructions = 0
         memory_accesses = 0
         seen_macros = set()
+        last_macro_seq = -1
 
         for timed in timed_uops:
             uop = timed.uop
             total_uops += uop.uop_cost
             if uop.is_injected:
                 injected_uops += uop.uop_cost
-            if uop.macro is not None and id(uop.macro) not in seen_macros:
-                # Count unique macro instructions cheaply; the set is bounded
-                # by clearing it periodically (macro identity repeats only for
-                # static instructions re-executed much later).
+            macro_seq = uop.macro_seq
+            if macro_seq >= 0:
+                # Injector-stamped µops: stamps are monotonic per dynamic
+                # macro instance and shared by all µops of one expansion, so
+                # a simple change detector counts macro instructions exactly
+                # (unlike ``id()``, stamps are never reused after GC).
+                if macro_seq != last_macro_seq:
+                    last_macro_seq = macro_seq
+                    macro_instructions += 1
+            elif uop.macro is not None and id(uop.macro) not in seen_macros:
+                # Hand-built µop streams without stamps fall back to object
+                # identity with periodic clearing (best-effort).
                 seen_macros.add(id(uop.macro))
                 macro_instructions += 1
                 if len(seen_macros) > 65536:
@@ -163,10 +190,19 @@ class OutOfOrderCore:
                 dispatch_time = max(dispatch_time, iq.popleft())
             elif iq and iq[0] <= dispatch_time:
                 iq.popleft()
-            if uop.kind in (UopKind.LOAD, UopKind.SHADOW_LOAD) and len(lq) >= machine.lq_entries:
-                dispatch_time = max(dispatch_time, lq.popleft())
-            if uop.kind in (UopKind.STORE, UopKind.SHADOW_STORE) and len(sq) >= machine.sq_entries:
-                dispatch_time = max(dispatch_time, sq.popleft())
+            # LQ/SQ: like the ROB/IQ, entries whose µop has completed by the
+            # dispatch point have left the queue — drain them before deciding
+            # whether the queue is actually full and must stall dispatch.
+            if uop.kind in (UopKind.LOAD, UopKind.SHADOW_LOAD):
+                while lq and lq[0] <= dispatch_time:
+                    lq.popleft()
+                if len(lq) >= machine.lq_entries:
+                    dispatch_time = max(dispatch_time, lq.popleft())
+            elif uop.kind in (UopKind.STORE, UopKind.SHADOW_STORE):
+                while sq and sq[0] <= dispatch_time:
+                    sq.popleft()
+                if len(sq) >= machine.sq_entries:
+                    dispatch_time = max(dispatch_time, sq.popleft())
 
             if dispatch_time > dispatch_cycle:
                 dispatch_cycle = dispatch_time
@@ -213,12 +249,8 @@ class OutOfOrderCore:
             iq.append(start)
             if uop.kind in (UopKind.LOAD, UopKind.SHADOW_LOAD):
                 lq.append(completion)
-                if len(lq) > machine.lq_entries:
-                    lq.popleft()
-            if uop.kind in (UopKind.STORE, UopKind.SHADOW_STORE):
+            elif uop.kind in (UopKind.STORE, UopKind.SHADOW_STORE):
                 sq.append(commit_time)
-                if len(sq) > machine.sq_entries:
-                    sq.popleft()
 
         cycles = max(last_commit_time, 1)
         port_waits = {name: pool.average_wait()
@@ -229,6 +261,208 @@ class OutOfOrderCore:
             injected_uops=injected_uops,
             macro_instructions=macro_instructions,
             memory_accesses=memory_accesses,
+            lock_cache_misses=self.hierarchy.lock_cache.misses,
+            l1d_misses=self.hierarchy.l1d.misses,
+            port_waits=port_waits,
+        )
+
+    # -- the array scheduler -------------------------------------------------------
+    def simulate_compiled(self, stream) -> TimingResult:
+        """Replay a :class:`~repro.sim.compiled.CompiledStream`.
+
+        Bit-identical to :meth:`simulate` over the equivalent ``TimedUop``
+        stream (the golden equivalence tests enforce this), but consuming
+        packed per-µop tuples instead of objects, in two passes:
+
+        1. the memory hierarchy replays the packed access sequence in one
+           batch (access order equals program order, so cache state and load
+           latencies are independent of scheduling decisions),
+        2. a tight integer loop schedules dispatch, operand readiness (flat
+           register-slot scoreboards), port reservation, completion and
+           in-order commit.
+        """
+        machine = self.machine
+        lats = stream.lat_template.copy()
+        self.hierarchy.access_batch(stream.mem_addr, stream.mem_spec,
+                                    stream.mem_pos, lats)
+
+        # kind code -> port-pool index, honouring the Watchdog configuration
+        # (check µops fall back to the data load ports without a lock cache).
+        pools = list(self.units.all_pools().values())
+        pool_index = {id(pool): i for i, pool in enumerate(pools)}
+        pool_map = [0] * len(UopKind)
+        for kind in UopKind:
+            pool_map[kind.code] = pool_index[id(self.units.pool_for(kind))]
+        free_times = [pool._next_free for pool in pools]
+        pool_uses = [0] * len(pools)
+        pool_waits = [0] * len(pools)
+
+        ready = [0] * NUM_REG_SLOTS
+        meta_ready = [0] * NUM_REG_SLOTS
+
+        # FIFO queues as append-only lists with explicit head cursors (the
+        # compiled loop never touches more than len(stream) entries, and
+        # cursor arithmetic beats deque method calls).
+        rob: list = []
+        iq: list = []
+        lq: list = []
+        sq: list = []
+        rob_append = rob.append
+        iq_append = iq.append
+        lq_append = lq.append
+        sq_append = sq.append
+        rob_head = iq_head = lq_head = sq_head = 0
+        rob_len = iq_len = lq_len = sq_len = 0
+        rob_size = machine.rob_entries
+        iq_size = machine.iq_entries
+        lq_size = machine.lq_entries
+        sq_size = machine.sq_entries
+
+        dispatch_width = machine.dispatch_width
+        dispatch_latency = machine.dispatch_latency
+        commit_width = machine.commit_width
+        mispredict_penalty = machine.branch_misprediction_penalty
+
+        dispatch_cycle = machine.fetch_latency + machine.rename_latency
+        dispatched = 0
+        fetch_stall = 0
+        last_commit = 0
+        commits = 0
+        commit_cycle = 0
+
+        for (flags, cost, dest, s0, s1, md, ms0, ms1), latency in \
+                zip(stream.uops, lats):
+            # ---- dispatch: front-end width, window occupancy ----------------
+            if dispatched >= dispatch_width:
+                dispatch_cycle += 1
+                dispatched = 0
+            t = dispatch_cycle
+            if fetch_stall > t:
+                t = fetch_stall
+            if rob_len >= rob_size:
+                v = rob[rob_head]
+                rob_head += 1
+                rob_len -= 1
+                if v > t:
+                    t = v
+            elif rob_len and rob[rob_head] <= t:
+                rob_head += 1
+                rob_len -= 1
+            if iq_len >= iq_size:
+                v = iq[iq_head]
+                iq_head += 1
+                iq_len -= 1
+                if v > t:
+                    t = v
+            elif iq_len and iq[iq_head] <= t:
+                iq_head += 1
+                iq_len -= 1
+            if flags & 96:
+                if flags & FLAG_LQ:
+                    while lq_len and lq[lq_head] <= t:
+                        lq_head += 1
+                        lq_len -= 1
+                    if lq_len >= lq_size:
+                        v = lq[lq_head]
+                        lq_head += 1
+                        lq_len -= 1
+                        if v > t:
+                            t = v
+                else:
+                    while sq_len and sq[sq_head] <= t:
+                        sq_head += 1
+                        sq_len -= 1
+                    if sq_len >= sq_size:
+                        v = sq[sq_head]
+                        sq_head += 1
+                        sq_len -= 1
+                        if v > t:
+                            t = v
+            if t > dispatch_cycle:
+                dispatch_cycle = t
+                dispatched = cost
+            else:
+                dispatched += cost
+
+            # ---- issue: operand readiness, then a port ----------------------
+            r = t + dispatch_latency
+            if s0 >= 0:
+                v = ready[s0]
+                if v > r:
+                    r = v
+                if s1 >= 0:
+                    v = ready[s1]
+                    if v > r:
+                        r = v
+            if ms0 >= 0:
+                v = meta_ready[ms0]
+                if v > r:
+                    r = v
+                if ms1 >= 0:
+                    v = meta_ready[ms1]
+                    if v > r:
+                        r = v
+            p = pool_map[flags & 31]
+            free = free_times[p]
+            b = min(free)
+            if b > r:
+                start = b
+                pool_waits[p] += b - r
+            else:
+                start = r
+            free[free.index(b)] = start + cost
+            pool_uses[p] += 1
+            completion = start + latency
+
+            # ---- writeback ---------------------------------------------------
+            if dest >= 0:
+                ready[dest] = completion
+            if md >= 0:
+                meta_ready[md] = completion
+
+            # ---- branch misprediction refill --------------------------------
+            if flags & FLAG_MISPREDICT:
+                v = completion + mispredict_penalty
+                if v > fetch_stall:
+                    fetch_stall = v
+
+            # ---- in-order commit --------------------------------------------
+            c = completion
+            if last_commit > c:
+                c = last_commit
+            if c == commit_cycle:
+                commits += cost
+                if commits >= commit_width:
+                    c += 1
+                    commits = 0
+            else:
+                commit_cycle = c
+                commits = cost
+            last_commit = c
+
+            # ---- occupancy bookkeeping --------------------------------------
+            rob_append(c)
+            rob_len += 1
+            iq_append(start)
+            iq_len += 1
+            if flags & FLAG_LQ:
+                lq_append(completion)
+                lq_len += 1
+            elif flags & FLAG_SQ:
+                sq_append(c)
+                sq_len += 1
+
+        for pool, uses, waited in zip(pools, pool_uses, pool_waits):
+            pool.uses += uses
+            pool.total_wait += waited
+        port_waits = {name: pool.average_wait()
+                      for name, pool in self.units.all_pools().items()}
+        return TimingResult(
+            cycles=max(last_commit, 1),
+            total_uops=stream.total_uops,
+            injected_uops=stream.injected_uops,
+            macro_instructions=stream.macro_instructions,
+            memory_accesses=stream.memory_accesses,
             lock_cache_misses=self.hierarchy.lock_cache.misses,
             l1d_misses=self.hierarchy.l1d.misses,
             port_waits=port_waits,

@@ -1,0 +1,189 @@
+"""Performance benchmark for the simulation hot path (``repro bench``).
+
+Times the Figure 7 runtime-overhead cell matrix — every benchmark profile
+under the unprotected baseline, conservative and ISA-assisted use-after-free
+checking, and the idealized-shadow ablation — through :class:`Simulator`
+exactly the way the sweep engine executes it, and reports throughput
+(cells/sec, µops/sec) with a per-phase breakdown (workload generation,
+stream compilation, simulation).
+
+Results are written to ``BENCH_<rev>.json`` so the performance trajectory is
+tracked across PRs, and ``--check`` compares the measured µops/sec against a
+checked-in baseline, failing on regressions beyond the tolerance — that is
+what the CI perf-smoke job runs.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.config import WatchdogConfig
+from repro.pipeline.config import MachineConfig
+from repro.sim.simulator import PIPELINE_COMPILED, PIPELINE_REFERENCE, Simulator
+from repro.workloads.bundle import TraceBundle
+from repro.workloads.profiles import benchmark_names
+
+#: The Figure 7 cell matrix: identification policies plus the §9.3 ablation,
+#: each measured against the unprotected baseline.
+MATRIX_CONFIGS: Tuple[Tuple[str, WatchdogConfig], ...] = (
+    ("baseline", WatchdogConfig.disabled()),
+    ("conservative", WatchdogConfig.conservative_uaf()),
+    ("isa-assisted", WatchdogConfig.isa_assisted_uaf()),
+    ("ideal-shadow", WatchdogConfig.idealized_shadow()),
+)
+
+#: Benchmarks used by ``--quick`` (mirrors ``ExperimentSettings.quick``).
+QUICK_BENCHMARKS = ("gzip", "mcf", "lbm", "gcc")
+QUICK_INSTRUCTIONS = 3_000
+DEFAULT_INSTRUCTIONS = 8_000
+DEFAULT_SEED = 7
+
+
+def repo_revision() -> str:
+    """Short git revision of the working tree, or ``dev`` outside a checkout."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "dev"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "dev"
+
+
+def run_matrix(benchmarks: Sequence[str], instructions: int, seed: int,
+               pipeline: str,
+               machine: Optional[MachineConfig] = None) -> Dict[str, object]:
+    """Time the cell matrix under one pipeline; returns the stats record."""
+    simulator = Simulator(machine=machine, pipeline=pipeline)
+    phases = {"generate": 0.0, "compile": 0.0, "simulate": 0.0}
+    total_uops = 0
+    cells = 0
+    started = time.perf_counter()
+    for benchmark in benchmarks:
+        t0 = time.perf_counter()
+        bundle = TraceBundle.generate(benchmark, seed=seed,
+                                      instructions=instructions)
+        phases["generate"] += time.perf_counter() - t0
+        for _, config in MATRIX_CONFIGS:
+            if pipeline == PIPELINE_COMPILED:
+                t0 = time.perf_counter()
+                bundle.compiled_streams(config, machine=simulator.machine)
+                phases["compile"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            outcome = simulator.run_bundle(bundle, config)
+            phases["simulate"] += time.perf_counter() - t0
+            total_uops += outcome.timing.total_uops
+            cells += 1
+    wall = time.perf_counter() - started
+    return {
+        "pipeline": pipeline,
+        "cells": cells,
+        "total_uops": total_uops,
+        "wall_seconds": round(wall, 4),
+        "cells_per_sec": round(cells / wall, 3),
+        "uops_per_sec": round(total_uops / wall, 1),
+        "phases_seconds": {name: round(value, 4)
+                           for name, value in phases.items()},
+    }
+
+
+def run_bench(benchmarks: Optional[Sequence[str]] = None,
+              instructions: Optional[int] = None,
+              seed: int = DEFAULT_SEED,
+              include_reference: bool = True,
+              quick: bool = False) -> Dict[str, object]:
+    """Run the benchmark (optionally under both pipelines) and summarize.
+
+    ``instructions=None`` selects the scale implied by ``quick``; an
+    explicit count always wins.
+    """
+    if quick:
+        benchmarks = tuple(benchmarks or QUICK_BENCHMARKS)
+        if instructions is None:
+            instructions = QUICK_INSTRUCTIONS
+    else:
+        benchmarks = tuple(benchmarks or benchmark_names())
+        if instructions is None:
+            instructions = DEFAULT_INSTRUCTIONS
+    record: Dict[str, object] = {
+        "revision": repo_revision(),
+        "generated_at": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "matrix": {
+            "name": "fig7-runtime-overhead",
+            "benchmarks": list(benchmarks),
+            "configurations": [label for label, _ in MATRIX_CONFIGS],
+            "instructions": instructions,
+            "seed": seed,
+        },
+        "compiled": run_matrix(benchmarks, instructions, seed,
+                               PIPELINE_COMPILED),
+    }
+    if include_reference:
+        record["reference"] = run_matrix(benchmarks, instructions, seed,
+                                         PIPELINE_REFERENCE)
+        compiled_rate = record["compiled"]["uops_per_sec"]
+        reference_rate = record["reference"]["uops_per_sec"]
+        if reference_rate:
+            record["speedup_vs_reference"] = round(
+                compiled_rate / reference_rate, 2)
+    return record
+
+
+def write_record(record: Dict[str, object],
+                 output: Optional[str] = None) -> Path:
+    """Write the benchmark record to ``BENCH_<rev>.json`` (or ``output``)."""
+    path = Path(output) if output else Path(f"BENCH_{record['revision']}.json")
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def check_against_baseline(record: Dict[str, object], baseline_path: str,
+                           max_regression: float = 0.30) -> Tuple[bool, str]:
+    """Compare measured µops/sec against a checked-in baseline.
+
+    Returns (ok, message).  The baseline file stores the floor-setting
+    ``uops_per_sec`` (typically measured on the slowest supported runner
+    class); the check fails when throughput drops more than
+    ``max_regression`` below it.
+    """
+    data = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    baseline_rate = float(data["uops_per_sec"])
+    measured = float(record["compiled"]["uops_per_sec"])
+    floor = baseline_rate * (1.0 - max_regression)
+    ok = measured >= floor
+    message = (f"measured {measured:,.0f} uops/sec vs baseline "
+               f"{baseline_rate:,.0f} (floor {floor:,.0f}, "
+               f"tolerance {max_regression:.0%}): "
+               f"{'OK' if ok else 'REGRESSION'}")
+    return ok, message
+
+
+def format_summary(record: Dict[str, object]) -> str:
+    """Human-readable rendering of a benchmark record."""
+    lines = [f"revision {record['revision']}  "
+             f"matrix {record['matrix']['name']} "
+             f"({len(record['matrix']['benchmarks'])} benchmarks x "
+             f"{len(record['matrix']['configurations'])} configs, "
+             f"{record['matrix']['instructions']} instructions)"]
+    for key in ("compiled", "reference"):
+        stats = record.get(key)
+        if not stats:
+            continue
+        phases = stats["phases_seconds"]
+        phase_text = ", ".join(f"{name} {value:.2f}s"
+                               for name, value in phases.items())
+        lines.append(f"{key:>10}: {stats['cells']} cells in "
+                     f"{stats['wall_seconds']:.2f}s — "
+                     f"{stats['uops_per_sec']:,.0f} uops/sec, "
+                     f"{stats['cells_per_sec']:.2f} cells/sec ({phase_text})")
+    if "speedup_vs_reference" in record:
+        lines.append(f"{'speedup':>10}: {record['speedup_vs_reference']}x "
+                     f"compiled vs in-tree reference pipeline")
+    return "\n".join(lines)

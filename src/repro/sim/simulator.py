@@ -15,6 +15,7 @@ Glues the pieces together for the two kinds of runs the evaluation needs:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -22,7 +23,6 @@ from repro.core.config import WatchdogConfig
 from repro.core.pointer_id import PointerIdStats
 from repro.core.uop_injection import InjectionStats
 from repro.memory.pages import PageAccountant
-from repro.memory.shadow import ShadowSpace
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.core import OutOfOrderCore, TimingResult
 from repro.program.ir import Program
@@ -57,11 +57,32 @@ class SimulationOutcome:
         return bool(self.detection and self.detection.detected)
 
 
-class Simulator:
-    """Runs workloads and programs under Watchdog configurations."""
+#: Pipeline implementations selectable per Simulator (or via the
+#: ``REPRO_PIPELINE`` environment variable, which worker processes inherit).
+PIPELINE_COMPILED = "compiled"
+PIPELINE_REFERENCE = "reference"
 
-    def __init__(self, machine: Optional[MachineConfig] = None):
+
+class Simulator:
+    """Runs workloads and programs under Watchdog configurations.
+
+    ``pipeline`` selects the timing implementation: ``"compiled"`` (default)
+    packs traces into template-expanded array streams and runs the array
+    scheduler; ``"reference"`` keeps the original object-per-µop path.  The
+    two are bit-identical (enforced by the golden equivalence tests); the
+    reference model exists as the readable specification and as the
+    verification oracle.
+    """
+
+    def __init__(self, machine: Optional[MachineConfig] = None,
+                 pipeline: Optional[str] = None):
         self.machine = machine or MachineConfig()
+        if pipeline is None:
+            pipeline = os.environ.get("REPRO_PIPELINE", PIPELINE_COMPILED)
+        if pipeline not in (PIPELINE_COMPILED, PIPELINE_REFERENCE):
+            raise ValueError(f"unknown pipeline {pipeline!r} "
+                             f"(expected 'compiled' or 'reference')")
+        self.pipeline = pipeline
 
     # -- workload timing runs ---------------------------------------------------------
     def run_trace(self, trace: Iterable[DynamicOp], config: WatchdogConfig,
@@ -78,6 +99,25 @@ class Simulator:
         lines) is additionally pre-touched, which is what the long warm-up
         windows of the paper's sampling methodology achieve.
         """
+        if self.pipeline == PIPELINE_COMPILED:
+            # Freeze the working set before anything consumes the measured
+            # trace: for live workloads the generator advances the working
+            # set, and the warm-up must reflect the warm-up/measure boundary.
+            if workload is not None and hasattr(workload, "snapshot_working_set"):
+                workload = workload.snapshot_working_set()
+            # Materialize generator traces next: compilation consumes the
+            # iterator, and an unsupported-shape fallback must replay the
+            # *whole* trace through the reference model, not the remainder.
+            if not isinstance(trace, (list, tuple)):
+                trace = list(trace)
+            if warmup_trace is not None and \
+                    not isinstance(warmup_trace, (list, tuple)):
+                warmup_trace = list(warmup_trace)
+            outcome = self._run_trace_compiled(trace, config, name,
+                                               warmup_trace, workload)
+            if outcome is not None:
+                return outcome
+            # Unsupported trace shape: fall through to the reference model.
         pages = PageAccountant()
         expander = TraceExpander(config, pages=pages)
         core = OutOfOrderCore(machine=self.machine, watchdog=config)
@@ -95,38 +135,70 @@ class Simulator:
             pages=pages,
         )
 
+    def _run_trace_compiled(self, trace, config, name, warmup_trace,
+                            workload) -> Optional[SimulationOutcome]:
+        """Compile and run an ad-hoc trace; None if the shape is unsupported.
+
+        The caller materialized the traces and froze the working set, so an
+        unsupported-shape bail-out leaves everything replayable by the
+        reference model.
+        """
+        from repro.sim import compiled as compiled_mod
+
+        compiler = compiled_mod.StreamCompiler(config, self.machine)
+        try:
+            ws_arrays = compiler.working_set_arrays(workload) \
+                if workload is not None else None
+            warm = compiler.compile_warm(compiled_mod.tokenize(warmup_trace)) \
+                if warmup_trace is not None else None
+            measured = compiler.compile_measured(compiled_mod.tokenize(trace))
+        except compiled_mod.CompiledTraceUnsupported:
+            return None
+        return self._run_compiled(measured, warm, ws_arrays, config, name)
+
+    def _run_compiled(self, measured, warm, ws_arrays, config,
+                      name: str) -> SimulationOutcome:
+        """Warm the hierarchy and run the array scheduler on packed streams."""
+        from repro.sim import compiled as compiled_mod
+
+        core = OutOfOrderCore(machine=self.machine, watchdog=config)
+        if ws_arrays is not None:
+            compiled_mod.warm_working_set(core.hierarchy, ws_arrays, config)
+        if warm is not None:
+            compiled_mod.warm_trace(core.hierarchy, warm, config)
+        timing = core.simulate_compiled(measured)
+        return SimulationOutcome(
+            benchmark=name,
+            configuration=self._config_name(config),
+            timing=timing,
+            injection=measured.injection,
+            pointer_stats=measured.pointer,
+            pages=measured.pages,
+        )
+
     @staticmethod
     def _warm_working_set(core: OutOfOrderCore, config: WatchdogConfig,
                           workload: WorkingSet) -> None:
-        """Touch the workload's entire live working set before measuring.
+        """Install the workload's entire live working set before measuring.
 
         Brings every data line (and, when metadata is maintained, every
         corresponding shadow line) and every lock location at least into the
         lower cache levels, so the measured window contains only the misses a
         steady-state execution would see (capacity/conflict misses and lines
-        belonging to objects allocated during the window).
-        """
-        from repro.memory.hierarchy import PortKind
+        belonging to objects allocated during the window).  Shadow lines are
+        installed first and data lines last, so — as in steady state — the
+        frequently-used data stays resident in the upper levels while the
+        (colder) metadata sits behind it in the hierarchy.
 
-        shadow = ShadowSpace(metadata_words=config.metadata_words)
-        warm_shadow = config.enabled and not config.ideal_shadow
-        shadow_step = 64 // config.metadata_words
-        # Shadow lines are touched first and data lines afterwards, so that —
-        # as in steady state — the frequently-used data stays resident in the
-        # upper levels while the (colder) metadata sits behind it in the
-        # hierarchy rather than displacing it.
-        if warm_shadow:
-            for line in workload.working_set_lines():
-                for step in range(config.metadata_words):
-                    core.hierarchy.access(
-                        shadow.shadow_address(line + step * shadow_step),
-                        is_write=False, port=PortKind.SHADOW)
-        if config.enabled:
-            for lock in workload.lock_locations():
-                core.hierarchy.access(lock, is_write=False, port=PortKind.LOCK)
-        for line in workload.working_set_lines():
-            core.hierarchy.access(line, is_write=False, port=PortKind.DATA)
-        core.hierarchy.reset_stats()
+        Both pipelines share one implementation
+        (:func:`repro.sim.compiled.warm_working_set`), which installs the
+        warm state directly instead of replaying hundreds of thousands of
+        demand accesses through the miss/prefetch machinery.
+        """
+        from repro.sim.compiled import warm_working_set, working_set_arrays
+
+        warm_working_set(core.hierarchy, working_set_arrays(workload, config),
+                         config)
 
     @staticmethod
     def _warm_hierarchy(core: OutOfOrderCore, config: WatchdogConfig,
@@ -201,8 +273,23 @@ class Simulator:
         The bundle is immutable: the same bundle can be replayed under any
         number of configurations (serially or from several worker processes)
         and yields exactly the cycles a fresh per-configuration workload
-        generation would have produced.
+        generation would have produced.  Under the compiled pipeline the
+        bundle additionally caches its packed streams per
+        configuration-equivalence class, so replaying n configurations costs
+        one tokenization, one compilation per injection behaviour, and n
+        array-scheduler runs.
         """
+        if self.pipeline == PIPELINE_COMPILED:
+            from repro.sim.compiled import CompiledTraceUnsupported
+
+            try:
+                streams = bundle.compiled_streams(config, machine=self.machine)
+            except CompiledTraceUnsupported:
+                pass
+            else:
+                return self._run_compiled(streams.measured, streams.warm,
+                                          streams.working_set, config,
+                                          bundle.benchmark)
         return self.run_trace(iter(bundle.measured), config,
                               name=bundle.benchmark,
                               warmup_trace=bundle.warmup or None,

@@ -56,6 +56,54 @@ class TimedUop:
     mispredicted_branch: bool = False
 
 
+# -- timing-annotation rules (the numeric form of :meth:`TraceExpander._annotate`) --
+#
+# For a fixed configuration the annotation of a µop is a pure function of its
+# *kind*: which address it presents to the hierarchy (the dynamic op's data
+# address, its shadow translation, its lock location, or the synthetic frame
+# lock stack), which L1 port it uses, and whether it writes.  The compiled
+# trace pipeline consumes these tables instead of re-running the if-chain per
+# dynamic µop instance.
+
+#: Address-derivation rules.
+ADDR_NONE = 0      #: no memory access
+ADDR_DATA = 1      #: the dynamic op's effective address
+ADDR_SHADOW = 2    #: shadow translation of the effective address
+ADDR_LOCK = 3      #: the dynamic op's lock location
+ADDR_FRAME_PUSH = 4  #: push onto the synthetic frame-lock stack, then use
+ADDR_FRAME_POP = 5   #: use the synthetic frame-lock stack top, then pop
+
+#: kind -> (addr_rule, port, is_write).  Kinds not listed access no memory.
+ANNOTATION_RULES = {
+    UopKind.LOAD: (ADDR_DATA, PortKind.DATA, False),
+    UopKind.STORE: (ADDR_DATA, PortKind.DATA, True),
+    UopKind.SHADOW_LOAD: (ADDR_SHADOW, PortKind.SHADOW, False),
+    UopKind.SHADOW_STORE: (ADDR_SHADOW, PortKind.SHADOW, True),
+    UopKind.CHECK: (ADDR_LOCK, PortKind.LOCK, False),
+    UopKind.SETIDENT: (ADDR_LOCK, PortKind.LOCK, True),
+    UopKind.GETIDENT: (ADDR_LOCK, PortKind.LOCK, False),
+    UopKind.LOCK_PUSH: (ADDR_FRAME_PUSH, PortKind.LOCK, True),
+    UopKind.LOCK_POP: (ADDR_FRAME_POP, PortKind.LOCK, True),
+}
+
+#: Kinds whose execution latency comes from the memory hierarchy (loads).
+HIERARCHY_LATENCY_KINDS = frozenset({
+    UopKind.LOAD, UopKind.SHADOW_LOAD, UopKind.CHECK, UopKind.GETIDENT,
+})
+
+#: Kinds that access the hierarchy off the critical path (stores): the access
+#: updates cache state and statistics but the µop retires at its fixed
+#: latency.
+STORE_ACCESS_KINDS = frozenset({
+    UopKind.STORE, UopKind.SHADOW_STORE, UopKind.SETIDENT,
+    UopKind.LOCK_PUSH, UopKind.LOCK_POP,
+})
+
+#: Kinds occupying the load queue / store queue.
+LQ_KINDS = frozenset({UopKind.LOAD, UopKind.SHADOW_LOAD})
+SQ_KINDS = frozenset({UopKind.STORE, UopKind.SHADOW_STORE})
+
+
 class TraceExpander:
     """Expands a dynamic macro trace into the timed µop stream."""
 
@@ -119,7 +167,8 @@ class TraceExpander:
         if inst.dest is None or not inst.dest.is_int:
             return []
         copy = MicroOp(kind=UopKind.META_SELECT, meta_dest=inst.dest,
-                       meta_srcs=inst.srcs, injected=True, macro=inst)
+                       meta_srcs=inst.srcs, injected=True, macro=inst,
+                       macro_seq=self.injector.last_macro_seq)
         self.injector.stats.other_uops += 1
         return [TimedUop(uop=copy)]
 

@@ -20,6 +20,12 @@ from repro.sim.trace import DynamicOp
 from repro.workloads.profiles import BenchmarkProfile, profile_by_name
 from repro.workloads.synthetic import SyntheticWorkload
 
+#: Instance attributes holding the lazily-built compiled-stream caches.
+#: They live outside the dataclass fields: equality, hashing and pickling of
+#: a bundle are defined by its trace content alone.
+_TOKEN_CACHE_ATTR = "_cc_tokens"
+_STREAM_CACHE_ATTR = "_cc_streams"
+
 
 def default_warmup_instructions(instructions: int) -> int:
     """Warm-up window length used when the caller does not choose one.
@@ -97,3 +103,60 @@ class TraceBundle:
 
     def __len__(self) -> int:
         return len(self.measured)
+
+    # -- compiled-stream cache ----------------------------------------------------
+    def compiled_streams(self, config, machine=None):
+        """The bundle's compiled replay artifacts for one configuration.
+
+        Compilation is cached *per configuration-equivalence class* (see
+        :func:`repro.sim.compiled.stream_class_key`): sweep cells whose
+        configurations inject the same µops — e.g. with and without the lock
+        location cache — share one packed stream, one warm-up access
+        sequence and one working-set array set.  Tokenization (the
+        configuration-independent interning of the dynamic traces) happens
+        at most once per bundle.
+
+        Returns a :class:`repro.sim.compiled.BundleStreams`.
+        """
+        from repro.pipeline.config import MachineConfig
+        from repro.sim.compiled import (
+            BundleStreams,
+            StreamCompiler,
+            stream_class_key,
+            tokenize,
+        )
+
+        machine = machine or MachineConfig()
+        streams = self.__dict__.get(_STREAM_CACHE_ATTR)
+        if streams is None:
+            streams = {}
+            object.__setattr__(self, _STREAM_CACHE_ATTR, streams)
+        key = (stream_class_key(config), machine)
+        cached = streams.get(key)
+        if cached is not None:
+            return cached
+
+        tokens = self.__dict__.get(_TOKEN_CACHE_ATTR)
+        if tokens is None:
+            tokens = (tokenize(self.measured),
+                      tokenize(self.warmup) if self.warmup else None)
+            object.__setattr__(self, _TOKEN_CACHE_ATTR, tokens)
+        measured_tokens, warm_tokens = tokens
+
+        compiler = StreamCompiler(config, machine)
+        built = BundleStreams(
+            measured=compiler.compile_measured(measured_tokens),
+            warm=compiler.compile_warm(warm_tokens)
+            if warm_tokens is not None else None,
+            working_set=compiler.working_set_arrays(self.working_set),
+        )
+        streams[key] = built
+        return built
+
+    def __getstate__(self):
+        """Pickle only the trace content, never the compiled caches."""
+        return {key: value for key, value in self.__dict__.items()
+                if key not in (_TOKEN_CACHE_ATTR, _STREAM_CACHE_ATTR)}
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)

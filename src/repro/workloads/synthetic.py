@@ -28,6 +28,28 @@ from repro.memory.address_space import AddressSpace
 from repro.sim.trace import DynamicOp
 from repro.workloads.profiles import BenchmarkProfile
 
+
+#: Interned Instruction instances, keyed by their full field tuple.  The
+#: generator emits the same few hundred static shapes millions of times;
+#: instructions are immutable by convention, and every consumer (expander,
+#: tokenizer, trace equality) compares them by value, so sharing instances
+#: only removes dataclass-construction cost from the generation hot path.
+_INSTRUCTION_CACHE: Dict[tuple, Instruction] = {}
+
+
+def _inst(opcode: Opcode, dest: Optional[ArchReg] = None,
+          srcs: Tuple[ArchReg, ...] = (), imm: int = 0,
+          size: AccessSize = AccessSize.WORD64,
+          pointer_hint: PointerHint = PointerHint.UNKNOWN) -> Instruction:
+    key = (opcode, dest, srcs, imm, size, pointer_hint)
+    inst = _INSTRUCTION_CACHE.get(key)
+    if inst is None:
+        inst = _INSTRUCTION_CACHE[key] = Instruction(
+            opcode, dest=dest, srcs=srcs, imm=imm, size=size,
+            pointer_hint=pointer_hint)
+    return inst
+
+
 #: Registers used to hold addresses (pointers into live objects).
 ADDRESS_REGS = tuple(int_reg(i) for i in range(1, 7))
 #: Registers used for integer data values.
@@ -225,8 +247,8 @@ class SyntheticWorkload:
         # Occasionally refresh the address register with pointer arithmetic so
         # memory operations have realistic address dependences.
         if self.rng.random() < 0.25:
-            yield DynamicOp(Instruction(Opcode.ADD_RI, dest=address_reg,
-                                        srcs=(address_reg,), imm=8))
+            yield DynamicOp(_inst(Opcode.ADD_RI, dest=address_reg,
+                                  srcs=(address_reg,), imm=8))
 
         if fp:
             opcode = Opcode.FLOAD if is_load else Opcode.FSTORE
@@ -236,17 +258,17 @@ class SyntheticWorkload:
             data_reg = self._value_reg()
 
         if is_load:
-            inst = Instruction(opcode, dest=data_reg, srcs=(address_reg,),
-                               size=size, pointer_hint=hint)
+            inst = _inst(opcode, dest=data_reg, srcs=(address_reg,),
+                         size=size, pointer_hint=hint)
         else:
-            inst = Instruction(opcode, srcs=(address_reg, data_reg),
-                               size=size, pointer_hint=hint)
+            inst = _inst(opcode, srcs=(address_reg, data_reg),
+                         size=size, pointer_hint=hint)
         yield DynamicOp(inst, address=address, lock_address=lock)
 
     def _alu_op(self) -> DynamicOp:
         if self.rng.random() < self.profile.fp_compute_fraction:
             dest, a, b = self._fp_reg(), self._fp_reg(), self._fp_reg()
-            return DynamicOp(Instruction(Opcode.FADD, dest=dest, srcs=(a, b)))
+            return DynamicOp(_inst(Opcode.FADD, dest=dest, srcs=(a, b)))
         previous_dest = VALUE_REGS[self._value_rotation]
         dest = self._value_reg()
         if self.rng.random() < 0.35:
@@ -261,12 +283,12 @@ class SyntheticWorkload:
         opcode = self.rng.choice((Opcode.ADD_RI, Opcode.ADD_RI, Opcode.AND_RR,
                                   Opcode.XOR_RR, Opcode.ADD_RR, Opcode.MUL_RR))
         if opcode is Opcode.ADD_RI:
-            return DynamicOp(Instruction(opcode, dest=dest, srcs=(a,), imm=1))
-        return DynamicOp(Instruction(opcode, dest=dest, srcs=(a, b)))
+            return DynamicOp(_inst(opcode, dest=dest, srcs=(a,), imm=1))
+        return DynamicOp(_inst(opcode, dest=dest, srcs=(a, b)))
 
     def _branch_op(self) -> DynamicOp:
         mispredicted = self.rng.random() < self.profile.mispredict_rate
-        inst = Instruction(Opcode.BRANCH, srcs=(self._value_reg(),))
+        inst = _inst(Opcode.BRANCH, srcs=(self._value_reg(),))
         return DynamicOp(inst, mispredicted=mispredicted)
 
     def _runtime_call_ops(self, lock_address: int, is_alloc: bool) -> Iterator[DynamicOp]:
@@ -276,9 +298,9 @@ class SyntheticWorkload:
         pointer_reg = self._address_reg()
         identifier_reg = VALUE_REGS[0]
         if is_alloc:
-            inst = Instruction(Opcode.SETIDENT, srcs=(pointer_reg, identifier_reg))
+            inst = _inst(Opcode.SETIDENT, srcs=(pointer_reg, identifier_reg))
         else:
-            inst = Instruction(Opcode.GETIDENT, dest=identifier_reg, srcs=(pointer_reg,))
+            inst = _inst(Opcode.GETIDENT, dest=identifier_reg, srcs=(pointer_reg,))
         yield DynamicOp(inst, lock_address=lock_address)
 
     def _allocation_event(self) -> Iterator[DynamicOp]:
@@ -295,10 +317,10 @@ class SyntheticWorkload:
     def _call_event(self) -> Iterator[DynamicOp]:
         if self._call_depth < 16 and self.rng.random() < 0.6:
             self._call_depth += 1
-            yield DynamicOp(Instruction(Opcode.CALL))
+            yield DynamicOp(_inst(Opcode.CALL))
         elif self._call_depth > 0:
             self._call_depth -= 1
-            yield DynamicOp(Instruction(Opcode.RET))
+            yield DynamicOp(_inst(Opcode.RET))
 
     # -- the generator ------------------------------------------------------------------------
     def generate(self, instructions: int) -> Iterator[DynamicOp]:

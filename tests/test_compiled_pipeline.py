@@ -1,0 +1,198 @@
+"""Golden equivalence and determinism tests for the compiled trace pipeline.
+
+The compiled pipeline (template-expanded packed streams + the array
+scheduler) must be *bit-identical* to the reference object pipeline — same
+``TimingResult`` including port-wait averages, same injection/pointer/page
+statistics — across every benchmark profile and every Table 2 configuration.
+These tests are the contract that lets the sweep engine run the fast path by
+default.
+"""
+
+import pytest
+
+from repro.core.config import WatchdogConfig
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import int_reg
+from repro.pipeline.core import OutOfOrderCore
+from repro.sim.compiled import stream_class_key
+from repro.sim.results import CellResult
+from repro.sim.simulator import Simulator
+from repro.sim.trace import DynamicOp, TraceExpander
+from repro.workloads.bundle import TraceBundle
+from repro.workloads.profiles import benchmark_names
+
+#: Every Watchdog configuration the Table 2 evaluation exercises.
+CONFIGURATIONS = {
+    "baseline": WatchdogConfig.disabled(),
+    "conservative": WatchdogConfig.conservative_uaf(),
+    "isa-assisted": WatchdogConfig.isa_assisted_uaf(),
+    "no-lock-cache": WatchdogConfig.no_lock_cache(),
+    "ideal-shadow": WatchdogConfig.idealized_shadow(),
+    "bounds-fused": WatchdogConfig.full_safety_fused(),
+    "bounds-2uop": WatchdogConfig.full_safety_two_uops(),
+    "no-copy-elim": WatchdogConfig.isa_assisted_uaf().with_(
+        copy_elimination=False),
+}
+
+INSTRUCTIONS = 600
+SEED = 11
+
+
+def outcomes_for(bundle, config):
+    reference = Simulator(pipeline="reference").run_bundle(bundle, config)
+    compiled = Simulator(pipeline="compiled").run_bundle(bundle, config)
+    return reference, compiled
+
+
+class TestGoldenEquivalence:
+    """Compiled vs reference, every profile x every configuration."""
+
+    @pytest.mark.parametrize("profile_name", benchmark_names())
+    def test_profile_matches_reference_under_all_configurations(self, profile_name):
+        bundle = TraceBundle.generate(profile_name, seed=SEED,
+                                      instructions=INSTRUCTIONS)
+        for label, config in CONFIGURATIONS.items():
+            reference, compiled = outcomes_for(bundle, config)
+            assert compiled.timing == reference.timing, \
+                f"{profile_name}/{label}: timing diverged"
+            assert CellResult.from_outcome(compiled, label=label) == \
+                CellResult.from_outcome(reference, label=label), \
+                f"{profile_name}/{label}: statistics diverged"
+
+    def test_run_profile_matches_run_bundle(self):
+        config = WatchdogConfig.isa_assisted_uaf()
+        bundle = TraceBundle.generate("mcf", seed=3, instructions=900)
+        simulator = Simulator()
+        replayed = simulator.run_bundle(bundle, config)
+        regenerated = simulator.run_benchmark("mcf", config,
+                                              instructions=900, seed=3)
+        assert replayed.timing == regenerated.timing
+
+    def test_unsupported_shape_falls_back_to_reference(self):
+        # Three register sources exceed the packed-stream operand slots; the
+        # compiled path must fall back and still match the reference model.
+        regs = (int_reg(1), int_reg(2), int_reg(3))
+        trace = [DynamicOp(Instruction(Opcode.ADD_RR, dest=int_reg(4),
+                                       srcs=regs))
+                 for _ in range(20)]
+        config = WatchdogConfig.isa_assisted_uaf()
+        compiled = Simulator(pipeline="compiled").run_trace(list(trace), config)
+        reference = Simulator(pipeline="reference").run_trace(list(trace), config)
+        assert compiled.timing == reference.timing
+
+    def test_unsupported_generator_trace_replays_in_full(self):
+        # The unsupported instruction appears mid-generator: the fallback
+        # must replay the whole trace, not the part after the failure point.
+        def make_trace():
+            good = Instruction(Opcode.ADD_RI, dest=int_reg(1),
+                               srcs=(int_reg(1),), imm=1)
+            bad = Instruction(Opcode.ADD_RR, dest=int_reg(4),
+                              srcs=(int_reg(1), int_reg(2), int_reg(3)))
+            for i in range(101):
+                yield DynamicOp(bad if i == 50 else good)
+
+        config = WatchdogConfig.isa_assisted_uaf()
+        compiled = Simulator(pipeline="compiled").run_trace(make_trace(), config)
+        reference = Simulator(pipeline="reference").run_trace(make_trace(), config)
+        assert compiled.timing.macro_instructions == 101
+        assert compiled.timing == reference.timing
+
+
+class TestStreamCaching:
+    """Per-class stream sharing and cross-configuration isolation."""
+
+    def test_configurations_in_one_class_share_streams(self):
+        bundle = TraceBundle.generate("gzip", seed=SEED, instructions=600)
+        isa = bundle.compiled_streams(WatchdogConfig.isa_assisted_uaf())
+        ideal = bundle.compiled_streams(WatchdogConfig.idealized_shadow())
+        no_lock = bundle.compiled_streams(WatchdogConfig.no_lock_cache())
+        assert isa is ideal is no_lock  # timing-only knobs share one stream
+        conservative = bundle.compiled_streams(WatchdogConfig.conservative_uaf())
+        assert conservative is not isa
+
+    def test_class_key_separates_injection_behaviours(self):
+        keys = {stream_class_key(config)
+                for config in (WatchdogConfig.disabled(),
+                               WatchdogConfig.conservative_uaf(),
+                               WatchdogConfig.isa_assisted_uaf(),
+                               WatchdogConfig.full_safety_two_uops(),
+                               WatchdogConfig.isa_assisted_uaf().with_(
+                                   copy_elimination=False))}
+        assert len(keys) == 5
+        assert stream_class_key(WatchdogConfig.isa_assisted_uaf()) == \
+            stream_class_key(WatchdogConfig.idealized_shadow()) == \
+            stream_class_key(WatchdogConfig.no_lock_cache())
+
+    def test_cached_streams_never_leak_state_between_configs(self):
+        # Interleave configurations sharing one cached stream and re-run the
+        # first: every replay of (bundle, config) must be bit-identical.
+        bundle = TraceBundle.generate("mcf", seed=SEED, instructions=600)
+        simulator = Simulator(pipeline="compiled")
+        first = simulator.run_bundle(bundle, WatchdogConfig.isa_assisted_uaf())
+        simulator.run_bundle(bundle, WatchdogConfig.idealized_shadow())
+        simulator.run_bundle(bundle, WatchdogConfig.no_lock_cache())
+        simulator.run_bundle(bundle, WatchdogConfig.conservative_uaf())
+        again = simulator.run_bundle(bundle, WatchdogConfig.isa_assisted_uaf())
+        assert first.timing == again.timing
+        assert first.timing.port_waits == again.timing.port_waits
+
+    def test_repeated_scheduler_runs_do_not_mutate_the_stream(self):
+        bundle = TraceBundle.generate("gzip", seed=SEED, instructions=600)
+        config = WatchdogConfig.isa_assisted_uaf()
+        streams = bundle.compiled_streams(config)
+        results = []
+        for _ in range(2):
+            core = OutOfOrderCore(watchdog=config)
+            from repro.sim.compiled import warm_trace, warm_working_set
+            warm_working_set(core.hierarchy, streams.working_set, config)
+            if streams.warm is not None:
+                warm_trace(core.hierarchy, streams.warm, config)
+            results.append(core.simulate_compiled(streams.measured))
+        assert results[0] == results[1]
+
+    def test_bundle_pickles_without_compiled_caches(self):
+        import pickle
+
+        bundle = TraceBundle.generate("gzip", seed=SEED, instructions=400)
+        bundle.compiled_streams(WatchdogConfig.isa_assisted_uaf())
+        clone = pickle.loads(pickle.dumps(bundle))
+        assert clone.measured == bundle.measured
+        assert "_cc_streams" not in clone.__dict__
+        assert "_cc_tokens" not in clone.__dict__
+
+
+class TestPipelineSelection:
+    def test_invalid_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(pipeline="vectorized")
+
+    def test_environment_variable_selects_pipeline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PIPELINE", "reference")
+        assert Simulator().pipeline == "reference"
+        monkeypatch.delenv("REPRO_PIPELINE")
+        assert Simulator().pipeline == "compiled"
+
+
+class TestMacroCounting:
+    """The macro-sequence stamp fix (id() reuse could merge distinct macros)."""
+
+    def test_reexecuted_static_instruction_counts_per_dynamic_instance(self):
+        # A machine-recorded trace reuses one Instruction object per dynamic
+        # execution; id()-based dedup collapsed those into one macro.
+        inst = Instruction(Opcode.LOAD, dest=int_reg(1), srcs=(int_reg(2),))
+        trace = [DynamicOp(inst, address=0x2000_0000 + 64 * i,
+                           lock_address=0x6000_0000) for i in range(5)]
+        config = WatchdogConfig.isa_assisted_uaf()
+        timed = TraceExpander(config).expand(trace)
+        result = OutOfOrderCore(watchdog=config).simulate(timed)
+        assert result.macro_instructions == 5
+
+    def test_all_uops_of_one_expansion_share_one_stamp(self):
+        config = WatchdogConfig.isa_assisted_uaf()
+        expander = TraceExpander(config)
+        inst = Instruction(Opcode.LOAD, dest=int_reg(1), srcs=(int_reg(2),))
+        timed = expander.expand([DynamicOp(inst, address=0x2000_0000,
+                                           lock_address=0x6000_0000)])
+        stamps = {t.uop.macro_seq for t in timed}
+        assert len(stamps) == 1
+        assert stamps.pop() >= 0
