@@ -30,7 +30,15 @@ from repro.experiments import (
 )
 from repro.sim.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.sim.engine import SweepEngine
-from repro.workloads.profiles import benchmark_names
+from repro.sim.sampling import SamplingConfig
+from repro.workloads.profiles import benchmark_names, long_profile_names
+
+#: ``--sampling`` choices: §9.1 schedules by name (``none`` disables).
+SAMPLING_SCHEDULES = {
+    "none": lambda: None,
+    "quick": SamplingConfig.quick,
+    "paper": SamplingConfig.paper,
+}
 
 
 def _experiment_description(module) -> str:
@@ -62,6 +70,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="comma-separated benchmark subset (default: all 20)")
     run.add_argument("--quick", action="store_true",
                      help="reduced scale: 4 benchmarks, short traces")
+    run.add_argument("--sampling", choices=sorted(SAMPLING_SCHEDULES),
+                     default="none",
+                     help="periodic §9.1 sampling schedule: 'paper' "
+                          "(480M/10M/10M, 2%% measured), 'quick' "
+                          "(80k/10k/10k, 10%% measured), or 'none' "
+                          "(default; measure everything)")
     run.add_argument("--no-cache", action="store_true",
                      help="disable the persistent result cache")
     run.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
@@ -85,6 +99,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="N", help="dynamic macro instructions per run")
     bench.add_argument("--seed", type=int, default=None,
                        help="workload seed (default: 7)")
+    bench.add_argument("--sampling", choices=sorted(SAMPLING_SCHEDULES),
+                       default="none",
+                       help="run the matrix under a §9.1 sampling schedule "
+                            "(see `run --sampling`)")
+    bench.add_argument("--no-sampled", action="store_true",
+                       help="skip the sampled long-profile cell (timed by "
+                            "default and gated by --check)")
     bench.add_argument("--no-reference", action="store_true",
                        help="skip timing the reference object pipeline")
     bench.add_argument("--output", "-o", metavar="FILE", default=None,
@@ -112,6 +133,9 @@ def _settings_from(args) -> ExperimentSettings:
         updates["instructions"] = args.instructions
     if args.seed is not None:
         updates["seed"] = args.seed
+    sampling = SAMPLING_SCHEDULES[getattr(args, "sampling", "none")]()
+    if sampling is not None:
+        updates["sampling"] = sampling
     return dataclasses.replace(settings, **updates) if updates else settings
 
 
@@ -133,12 +157,24 @@ def _cmd_run(args) -> int:
         return 2
 
     settings = _settings_from(args)
-    known = set(benchmark_names())
+    known = set(benchmark_names()) | set(long_profile_names())
     unknown = [name for name in settings.benchmarks if name not in known]
     if unknown:
         print(f"unknown benchmark(s): {', '.join(unknown)}; "
               f"known: {', '.join(sorted(known))}", file=sys.stderr)
         return 2
+    if settings.sampling is not None:
+        from repro.sim.sampling import SamplingSchedule
+
+        measured = SamplingSchedule(settings.sampling).measured_count(
+            settings.instructions)
+        if settings.sampling.degenerate or measured == 0:
+            print(f"note: --sampling {args.sampling} measures "
+                  f"{'everything' if settings.sampling.degenerate else 'nothing'} "
+                  f"at {settings.instructions} instructions per run; cells "
+                  f"execute unsampled (raise --instructions past "
+                  f"{settings.sampling.fast_forward + settings.sampling.warmup} "
+                  f"to sample)", file=sys.stderr)
     cache: Optional[ResultCache] = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)
@@ -184,6 +220,8 @@ def _cmd_bench(args) -> int:
         benchmarks=tuple(args.benchmarks.split(",")) if args.benchmarks else None,
         include_reference=not args.no_reference,
         quick=args.quick,
+        sampling=SAMPLING_SCHEDULES[args.sampling](),
+        include_sampled=not args.no_sampled,
         **kwargs)
     print(bench.format_summary(record))
     path = bench.write_record(record, output=args.output)

@@ -81,7 +81,8 @@ class OverheadSweep:
                 config: WatchdogConfig) -> RunRequest:
         return RunRequest(benchmark=benchmark, label=label, config=config,
                           instructions=self.settings.instructions,
-                          seed=self.settings.seed)
+                          seed=self.settings.seed,
+                          sampling=self.settings.sampling)
 
     def outcome(self, benchmark: str, label: str,
                 config: WatchdogConfig) -> CellResult:

@@ -15,6 +15,7 @@ what the CI perf-smoke job runs.
 
 from __future__ import annotations
 
+import dataclasses
 import datetime
 import json
 import subprocess
@@ -24,9 +25,10 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.config import WatchdogConfig
 from repro.pipeline.config import MachineConfig
+from repro.sim.sampling import SamplingConfig
 from repro.sim.simulator import PIPELINE_COMPILED, PIPELINE_REFERENCE, Simulator
 from repro.workloads.bundle import TraceBundle
-from repro.workloads.profiles import benchmark_names
+from repro.workloads.profiles import LONG_HORIZON_INSTRUCTIONS, benchmark_names
 
 #: The Figure 7 cell matrix: identification policies plus the §9.3 ablation,
 #: each measured against the unprotected baseline.
@@ -43,6 +45,15 @@ QUICK_INSTRUCTIONS = 3_000
 DEFAULT_INSTRUCTIONS = 8_000
 DEFAULT_SEED = 7
 
+#: The sampled long-profile cell: one long-horizon benchmark timed under the
+#: quick §9.1 schedule and the headline ISA-assisted configuration.  This is
+#: the sampling fast path's regression gate (perf-smoke runs it via
+#: ``repro bench --quick --check``); ``--quick`` shortens the horizon so the
+#: CI job stays a smoke test.
+SAMPLED_BENCHMARK = "mcf-long"
+SAMPLED_INSTRUCTIONS = LONG_HORIZON_INSTRUCTIONS
+SAMPLED_QUICK_INSTRUCTIONS = 400_000
+
 
 def repo_revision() -> str:
     """Short git revision of the working tree, or ``dev`` outside a checkout."""
@@ -57,22 +68,32 @@ def repo_revision() -> str:
 
 def run_matrix(benchmarks: Sequence[str], instructions: int, seed: int,
                pipeline: str,
-               machine: Optional[MachineConfig] = None) -> Dict[str, object]:
+               machine: Optional[MachineConfig] = None,
+               sampling: Optional[SamplingConfig] = None) -> Dict[str, object]:
     """Time the cell matrix under one pipeline; returns the stats record."""
     simulator = Simulator(machine=machine, pipeline=pipeline)
     phases = {"generate": 0.0, "compile": 0.0, "simulate": 0.0}
     total_uops = 0
     cells = 0
+    sampled_bundles = 0
     started = time.perf_counter()
     for benchmark in benchmarks:
         t0 = time.perf_counter()
         bundle = TraceBundle.generate(benchmark, seed=seed,
-                                      instructions=instructions)
+                                      instructions=instructions,
+                                      sampling=sampling)
         phases["generate"] += time.perf_counter() - t0
+        if bundle.samples:
+            sampled_bundles += 1
         for _, config in MATRIX_CONFIGS:
             if pipeline == PIPELINE_COMPILED:
                 t0 = time.perf_counter()
-                bundle.compiled_streams(config, machine=simulator.machine)
+                if bundle.samples:
+                    for index in range(len(bundle.samples)):
+                        bundle.compiled_sample_streams(
+                            index, config, machine=simulator.machine)
+                else:
+                    bundle.compiled_streams(config, machine=simulator.machine)
                 phases["compile"] += time.perf_counter() - t0
             t0 = time.perf_counter()
             outcome = simulator.run_bundle(bundle, config)
@@ -83,6 +104,10 @@ def run_matrix(benchmarks: Sequence[str], instructions: int, seed: int,
     return {
         "pipeline": pipeline,
         "cells": cells,
+        #: How many of the benchmarks' bundles genuinely sampled; a requested
+        #: schedule that measures nothing at this scale normalizes to
+        #: unsampled, and the record must not claim otherwise.
+        "sampled_bundles": sampled_bundles,
         "total_uops": total_uops,
         "wall_seconds": round(wall, 4),
         "cells_per_sec": round(cells / wall, 3),
@@ -92,15 +117,59 @@ def run_matrix(benchmarks: Sequence[str], instructions: int, seed: int,
     }
 
 
+def run_sampled_cell(benchmark: str = SAMPLED_BENCHMARK,
+                     instructions: int = SAMPLED_INSTRUCTIONS,
+                     seed: int = DEFAULT_SEED,
+                     sampling: Optional[SamplingConfig] = None,
+                     machine: Optional[MachineConfig] = None) -> Dict[str, object]:
+    """Time one sampled long-profile cell end to end (the sampling fast path).
+
+    Generation walks the full horizon (fast-forward is functional), so the
+    throughput figure is timed µops per second of *simulation* wall time —
+    the quantity the sampled fast path controls — with generation reported
+    separately.
+    """
+    sampling = sampling or SamplingConfig.quick()
+    # Pinned to the compiled pipeline (like run_matrix's explicit pipeline
+    # arg): the gate must measure the path its baseline floor describes,
+    # whatever REPRO_PIPELINE says.
+    simulator = Simulator(machine=machine, pipeline=PIPELINE_COMPILED)
+    t0 = time.perf_counter()
+    bundle = TraceBundle.generate(benchmark, seed=seed,
+                                  instructions=instructions, sampling=sampling)
+    generate_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    outcome = simulator.run_bundle(bundle, WatchdogConfig.isa_assisted_uaf())
+    simulate_wall = time.perf_counter() - t0
+    timing = outcome.timing
+    return {
+        "benchmark": benchmark,
+        "instructions": instructions,
+        "sampling": dataclasses.asdict(sampling),
+        "samples": len(bundle.samples),
+        "measured_instructions": bundle.measured_instructions,
+        "timed_uops": timing.total_uops,
+        "generate_seconds": round(generate_wall, 4),
+        "simulate_seconds": round(simulate_wall, 4),
+        "uops_per_sec": round(timing.total_uops / simulate_wall, 1)
+        if simulate_wall else 0.0,
+    }
+
+
 def run_bench(benchmarks: Optional[Sequence[str]] = None,
               instructions: Optional[int] = None,
               seed: int = DEFAULT_SEED,
               include_reference: bool = True,
-              quick: bool = False) -> Dict[str, object]:
+              quick: bool = False,
+              sampling: Optional[SamplingConfig] = None,
+              include_sampled: bool = True) -> Dict[str, object]:
     """Run the benchmark (optionally under both pipelines) and summarize.
 
     ``instructions=None`` selects the scale implied by ``quick``; an
-    explicit count always wins.
+    explicit count always wins.  ``sampling`` applies a §9.1 schedule to the
+    whole matrix; independently, ``include_sampled`` appends the sampled
+    long-profile cell (:func:`run_sampled_cell`) that regression-gates the
+    sampling fast path.
     """
     if quick:
         benchmarks = tuple(benchmarks or QUICK_BENCHMARKS)
@@ -120,18 +189,24 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
             "configurations": [label for label, _ in MATRIX_CONFIGS],
             "instructions": instructions,
             "seed": seed,
+            "sampling": None if sampling is None
+            else dataclasses.asdict(sampling),
         },
         "compiled": run_matrix(benchmarks, instructions, seed,
-                               PIPELINE_COMPILED),
+                               PIPELINE_COMPILED, sampling=sampling),
     }
     if include_reference:
         record["reference"] = run_matrix(benchmarks, instructions, seed,
-                                         PIPELINE_REFERENCE)
+                                         PIPELINE_REFERENCE, sampling=sampling)
         compiled_rate = record["compiled"]["uops_per_sec"]
         reference_rate = record["reference"]["uops_per_sec"]
         if reference_rate:
             record["speedup_vs_reference"] = round(
                 compiled_rate / reference_rate, 2)
+    if include_sampled:
+        record["sampled"] = run_sampled_cell(
+            instructions=SAMPLED_QUICK_INSTRUCTIONS if quick
+            else SAMPLED_INSTRUCTIONS, seed=seed)
     return record
 
 
@@ -151,18 +226,34 @@ def check_against_baseline(record: Dict[str, object], baseline_path: str,
     Returns (ok, message).  The baseline file stores the floor-setting
     ``uops_per_sec`` (typically measured on the slowest supported runner
     class); the check fails when throughput drops more than
-    ``max_regression`` below it.
+    ``max_regression`` below it.  A ``sampled_uops_per_sec`` baseline entry
+    additionally gates the sampled long-profile cell the same way.
     """
     data = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
-    baseline_rate = float(data["uops_per_sec"])
-    measured = float(record["compiled"]["uops_per_sec"])
-    floor = baseline_rate * (1.0 - max_regression)
-    ok = measured >= floor
-    message = (f"measured {measured:,.0f} uops/sec vs baseline "
-               f"{baseline_rate:,.0f} (floor {floor:,.0f}, "
-               f"tolerance {max_regression:.0%}): "
-               f"{'OK' if ok else 'REGRESSION'}")
-    return ok, message
+    checks = [("matrix", float(data["uops_per_sec"]),
+               float(record["compiled"]["uops_per_sec"]))]
+    sampled_baseline = data.get("sampled_uops_per_sec")
+    sampled = record.get("sampled")
+    skipped = []
+    if sampled_baseline is not None:
+        if sampled is not None:
+            checks.append(("sampled", float(sampled_baseline),
+                           float(sampled["uops_per_sec"])))
+        else:
+            # The baseline declares a floor but the record has no sampled
+            # cell (--no-sampled): say so rather than silently passing.
+            skipped.append("sampled: SKIPPED (no sampled cell in record)")
+    ok = True
+    parts = []
+    for name, baseline_rate, measured in checks:
+        floor = baseline_rate * (1.0 - max_regression)
+        passed = measured >= floor
+        ok = ok and passed
+        parts.append(f"{name}: measured {measured:,.0f} uops/sec vs baseline "
+                     f"{baseline_rate:,.0f} (floor {floor:,.0f}, "
+                     f"tolerance {max_regression:.0%}): "
+                     f"{'OK' if passed else 'REGRESSION'}")
+    return ok, "; ".join(parts + skipped)
 
 
 def format_summary(record: Dict[str, object]) -> str:
@@ -186,4 +277,14 @@ def format_summary(record: Dict[str, object]) -> str:
     if "speedup_vs_reference" in record:
         lines.append(f"{'speedup':>10}: {record['speedup_vs_reference']}x "
                      f"compiled vs in-tree reference pipeline")
+    sampled = record.get("sampled")
+    if sampled:
+        lines.append(
+            f"{'sampled':>10}: {sampled['benchmark']} "
+            f"{sampled['instructions']:,} instructions, "
+            f"{sampled['samples']} samples "
+            f"({sampled['measured_instructions']:,} measured) — "
+            f"{sampled['uops_per_sec']:,.0f} uops/sec "
+            f"(generate {sampled['generate_seconds']:.2f}s, "
+            f"simulate {sampled['simulate_seconds']:.2f}s)")
     return "\n".join(lines)

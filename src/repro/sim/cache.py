@@ -1,14 +1,21 @@
 """Persistent, content-addressed result cache.
 
 A simulated cell is a pure function of its inputs: the benchmark profile,
-the workload seed and instruction counts, the Watchdog configuration and the
-machine configuration.  The cache therefore keys each
+the workload seed and instruction counts, the §9.1 sampling schedule, the
+Watchdog configuration, the machine configuration and the pipeline
+implementation that executes it.  The cache therefore keys each
 :class:`~repro.sim.results.CellResult` by a SHA-256 digest of a canonical
 JSON rendering of exactly those inputs (plus a schema version that is bumped
 whenever the simulation semantics change), and stores the cell as one small
 JSON file.  Repeated figure runs, the benchmark harness and the CLI all skip
 already-computed cells; any change to a configuration knob changes the
 digest and transparently invalidates the entry.
+
+The pipeline selection is part of the key even though the compiled and
+reference pipelines are *supposed* to be bit-identical: serving a
+``REPRO_PIPELINE=reference`` run from a cell the compiled pipeline produced
+(or vice versa) would mask exactly the divergence the reference model exists
+to expose.
 """
 
 from __future__ import annotations
@@ -27,8 +34,11 @@ from repro.pipeline.config import MachineConfig
 from repro.sim.results import CellResult
 from repro.sim.spec import RunRequest
 
-#: Bump when the on-disk record layout changes.
-CACHE_SCHEMA_VERSION = 1
+#: Bump when the on-disk record layout or the fingerprint payload changes.
+#: v2: the payload gained the resolved pipeline (a reference-pipeline run
+#: must never be served a compiled-pipeline cell, or vice versa) and the
+#: request's sampling schedule.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default on-disk location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -76,8 +86,16 @@ def canonical_value(value: Any) -> Any:
 
 
 def request_fingerprint(request: RunRequest,
-                        machine: Optional[MachineConfig] = None) -> str:
-    """Content hash identifying one cell's full input space."""
+                        machine: Optional[MachineConfig] = None,
+                        pipeline: Optional[str] = None) -> str:
+    """Content hash identifying one cell's full input space.
+
+    ``pipeline=None`` resolves the selection the executing simulator would
+    make (the ``REPRO_PIPELINE`` environment variable, which worker processes
+    inherit, falling back to the compiled default).
+    """
+    from repro.sim.simulator import resolve_pipeline
+
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
         "code": code_fingerprint(),
@@ -85,8 +103,10 @@ def request_fingerprint(request: RunRequest,
         "instructions": request.instructions,
         "seed": request.seed,
         "warmup_instructions": request.warmup_instructions,
+        "sampling": canonical_value(request.sampling),
         "config": canonical_value(request.config),
         "machine": canonical_value(machine or MachineConfig()),
+        "pipeline": resolve_pipeline(pipeline),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -104,8 +124,9 @@ class ResultCache:
 
     # -- keying ---------------------------------------------------------------------
     def key(self, request: RunRequest,
-            machine: Optional[MachineConfig] = None) -> str:
-        return request_fingerprint(request, machine)
+            machine: Optional[MachineConfig] = None,
+            pipeline: Optional[str] = None) -> str:
+        return request_fingerprint(request, machine, pipeline=pipeline)
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"

@@ -34,7 +34,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.pipeline.config import MachineConfig
 from repro.sim.cache import ResultCache
 from repro.sim.results import CellResult
-from repro.sim.simulator import Simulator
+from repro.sim.sampling import SamplingConfig
+from repro.sim.simulator import Simulator, resolve_pipeline
 from repro.sim.spec import ExperimentSpec, RunRequest
 from repro.workloads.bundle import TraceBundle
 
@@ -55,6 +56,13 @@ class BenchmarkJob:
     seed: int
     instructions: int
     warmup_instructions: Optional[int]
+    sampling: Optional[SamplingConfig]
+    #: The pipeline the engine keyed this job's cells under.  Resolved once
+    #: per batch in the parent and carried into the worker so the cache key
+    #: and the executing simulator can never disagree (pooled workers keep
+    #: the environment they were forked with, so re-reading
+    #: ``REPRO_PIPELINE`` worker-side could diverge from the parent's view).
+    pipeline: str
     #: (label, config) pairs, in request order.
     cells: Tuple[Tuple[str, object], ...]
 
@@ -63,33 +71,38 @@ class BenchmarkJob:
 #: identity.  In a worker process this persists across jobs, so even when
 #: several jobs of the same benchmark land on one worker (e.g. after a cache
 #: partially resolved a grid) the trace is generated at most once per process.
-#: Bounded by total dynamic-op count rather than entry count: at the default
-#: scale (20 benchmarks × 10k ops) everything stays memoized across an
-#: `--all` run, while a handful of million-instruction bundles still evict
-#: LRU-first instead of pinning gigabytes in a long-lived serial process.
-_BUNDLES: "OrderedDict[Tuple[str, int, int, Optional[int]], TraceBundle]" = \
+#: Bounded by each bundle's *live footprint* (:meth:`TraceBundle.footprint_ops`)
+#: rather than entry count: that counts the raw trace streams plus the
+#: compiled token/stream caches and working-set arrays a replayed bundle pins
+#: — which for a long sampled bundle dwarf the traces themselves.  At the
+#: default scale (20 benchmarks × 10k ops plus their compiled streams)
+#: everything stays memoized across an `--all` run, while a couple of
+#: million-instruction sampled bundles evict LRU-first instead of pinning
+#: gigabytes in a long-lived worker.
+_BUNDLES: "OrderedDict[Tuple[str, int, int, Optional[int], Optional[SamplingConfig]], TraceBundle]" = \
     OrderedDict()
-_BUNDLES_OP_BUDGET = 2_000_000
-
-
-def _bundle_ops(bundle: TraceBundle) -> int:
-    return len(bundle.measured) + len(bundle.warmup)
+_BUNDLES_OP_BUDGET = 8_000_000
 
 
 def _bundle_for(job: BenchmarkJob) -> TraceBundle:
-    key = (job.benchmark, job.seed, job.instructions, job.warmup_instructions)
+    key = (job.benchmark, job.seed, job.instructions, job.warmup_instructions,
+           job.sampling)
     bundle = _BUNDLES.get(key)
     if bundle is None:
         bundle = TraceBundle.generate(job.benchmark, seed=job.seed,
                                       instructions=job.instructions,
-                                      warmup_instructions=job.warmup_instructions)
+                                      warmup_instructions=job.warmup_instructions,
+                                      sampling=job.sampling)
         _BUNDLES[key] = bundle
-        total = sum(_bundle_ops(b) for b in _BUNDLES.values())
-        while total > _BUNDLES_OP_BUDGET and len(_BUNDLES) > 1:
-            _, evicted = _BUNDLES.popitem(last=False)
-            total -= _bundle_ops(evicted)
     else:
         _BUNDLES.move_to_end(key)
+    # Footprints grow after insertion (compiled streams build lazily during
+    # replay), so the budget is re-evaluated against live footprints on every
+    # lookup, not just when a new bundle is generated.
+    total = sum(b.footprint_ops() for b in _BUNDLES.values())
+    while total > _BUNDLES_OP_BUDGET and len(_BUNDLES) > 1:
+        _, evicted = _BUNDLES.popitem(last=False)
+        total -= evicted.footprint_ops()
     return bundle
 
 
@@ -97,7 +110,7 @@ def execute_job(job: BenchmarkJob,
                 machine: Optional[MachineConfig] = None) -> List[CellResult]:
     """Run every cell of one benchmark job (module-level: picklable)."""
     bundle = _bundle_for(job)
-    simulator = Simulator(machine)
+    simulator = Simulator(machine, pipeline=job.pipeline)
     results: List[CellResult] = []
     for label, config in job.cells:
         outcome = simulator.run_bundle(bundle, config)
@@ -138,14 +151,18 @@ class SweepEngine:
         different inputs, the first one wins — matching the first-run-wins
         semantics of the memo.
         """
+        # One resolution serves the whole batch: the memo/cache keys and the
+        # jobs shipped to (possibly long-forked) workers must agree on the
+        # pipeline even if the environment changes between batches.
+        pipeline = resolve_pipeline()
         requests = list(requests)
         pending: List[RunRequest] = []
         seen: set = set()
         for request in requests:
-            identity = self._identity(request)
+            identity = self._identity(request, pipeline)
             if identity in self._memo or identity in seen:
                 continue
-            cached = self._load_cached(request)
+            cached = self._load_cached(request, pipeline)
             if cached is not None:
                 self._memo[identity] = cached
                 continue
@@ -153,61 +170,70 @@ class SweepEngine:
             pending.append(request)
 
         if pending:
-            for job, results in zip(*self._execute(self._group(pending))):
+            for job, results in zip(*self._execute(self._group(pending,
+                                                               pipeline))):
                 # Results arrive in the job's cell order, so pairing them
                 # positionally stays correct even if two cells share a label.
                 for (label, config), cell in zip(job.cells, results):
                     request = RunRequest(
                         benchmark=job.benchmark, label=label, config=config,
                         instructions=job.instructions, seed=job.seed,
-                        warmup_instructions=job.warmup_instructions)
-                    self._memo[self._identity(request)] = cell
+                        warmup_instructions=job.warmup_instructions,
+                        sampling=job.sampling)
+                    self._memo[self._identity(request, pipeline)] = cell
                     self.simulated_cells += 1
-                    self._store_cached(request, cell)
+                    self._store_cached(request, cell, pipeline)
         resolved: Dict[CellKey, CellResult] = {}
         for request in requests:
-            cell = self._memo[self._identity(request)]
+            cell = self._memo[self._identity(request, pipeline)]
             if cell.configuration != request.label:
                 cell = cell.relabel(request.benchmark, request.label)
             resolved.setdefault(request.key, cell)
         return resolved
 
     @staticmethod
-    def _identity(request: RunRequest) -> Tuple:
+    def _identity(request: RunRequest, pipeline: str) -> Tuple:
         """The cell's content identity: the request minus its cosmetic label."""
         return (request.benchmark, request.config, request.instructions,
-                request.seed, request.warmup_instructions)
+                request.seed, request.warmup_instructions, request.sampling,
+                pipeline)
 
     def cell(self, request: RunRequest) -> CellResult:
         """Resolve a single cell (memoized)."""
         return self.run_requests([request])[request.key]
 
     # -- caching -------------------------------------------------------------------
-    def _load_cached(self, request: RunRequest) -> Optional[CellResult]:
+    def _load_cached(self, request: RunRequest,
+                     pipeline: str) -> Optional[CellResult]:
         if self.cache is None:
             return None
-        cell = self.cache.load(self.cache.key(request, self.machine))
+        cell = self.cache.load(self.cache.key(request, self.machine,
+                                              pipeline=pipeline))
         if cell is None:
             return None
         # Cache keys ignore the cosmetic label, so rebrand on the way out.
         return cell.relabel(request.benchmark, request.label)
 
-    def _store_cached(self, request: RunRequest, cell: CellResult) -> None:
+    def _store_cached(self, request: RunRequest, cell: CellResult,
+                      pipeline: str) -> None:
         if self.cache is None:
             return
-        self.cache.store(self.cache.key(request, self.machine), cell)
+        self.cache.store(self.cache.key(request, self.machine,
+                                        pipeline=pipeline), cell)
 
     # -- execution -----------------------------------------------------------------
     @staticmethod
-    def _group(pending: List[RunRequest]) -> List[BenchmarkJob]:
+    def _group(pending: List[RunRequest], pipeline: str) -> List[BenchmarkJob]:
         """Group cells by workload identity, preserving first-seen order."""
         grouped: Dict[Tuple, List[RunRequest]] = {}
         for request in pending:
             workload_key = (request.benchmark, request.seed,
-                            request.instructions, request.warmup_instructions)
+                            request.instructions, request.warmup_instructions,
+                            request.sampling)
             grouped.setdefault(workload_key, []).append(request)
         return [BenchmarkJob(benchmark=key[0], seed=key[1], instructions=key[2],
-                             warmup_instructions=key[3],
+                             warmup_instructions=key[3], sampling=key[4],
+                             pipeline=pipeline,
                              cells=tuple((r.label, r.config) for r in members))
                 for key, members in grouped.items()]
 

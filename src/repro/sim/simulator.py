@@ -16,8 +16,9 @@ Glues the pieces together for the two kinds of runs the evaluation needs:
 from __future__ import annotations
 
 import os
+import dataclasses
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from repro.core.config import WatchdogConfig
 from repro.core.pointer_id import PointerIdStats
@@ -27,6 +28,7 @@ from repro.pipeline.config import MachineConfig
 from repro.pipeline.core import OutOfOrderCore, TimingResult
 from repro.program.ir import Program
 from repro.program.machine import ExecutionResult, Machine
+from repro.sim.sampling import SamplingConfig
 from repro.sim.trace import DynamicOp, TraceExpander
 from repro.workloads.bundle import TraceBundle, WorkingSet, \
     default_warmup_instructions
@@ -63,6 +65,68 @@ PIPELINE_COMPILED = "compiled"
 PIPELINE_REFERENCE = "reference"
 
 
+def resolve_pipeline(pipeline: Optional[str] = None) -> str:
+    """The effective pipeline selection for ``pipeline`` (``None`` = env/default).
+
+    Shared by :class:`Simulator` and the result cache's fingerprinting, so a
+    cached cell is keyed by exactly the pipeline that produced it.
+    """
+    if pipeline is None:
+        pipeline = os.environ.get("REPRO_PIPELINE", PIPELINE_COMPILED)
+    if pipeline not in (PIPELINE_COMPILED, PIPELINE_REFERENCE):
+        raise ValueError(f"unknown pipeline {pipeline!r} "
+                         f"(expected 'compiled' or 'reference')")
+    return pipeline
+
+
+def _aggregate_outcomes(outcomes: Sequence[SimulationOutcome]) -> SimulationOutcome:
+    """Fold per-sample outcomes into one, §9.1-style.
+
+    Cycle and µop counters sum — the aggregate IPC is total µops over total
+    cycles, i.e. the cycle-weighted mean of the per-sample IPCs, exactly as
+    if the measure windows had executed back to back — injection and pointer
+    classification counters sum, and the page accountant unions the touched
+    word sets.  Per-port wait averages are weighted by each sample's cycles.
+    """
+    first = outcomes[0]
+    timings = [outcome.timing for outcome in outcomes]
+    total_cycles = sum(timing.cycles for timing in timings)
+    port_waits = {}
+    for timing in timings:
+        for port, wait in timing.port_waits.items():
+            port_waits[port] = port_waits.get(port, 0.0) \
+                + wait * (timing.cycles / total_cycles if total_cycles else 0.0)
+    timing = TimingResult(
+        cycles=total_cycles,
+        total_uops=sum(t.total_uops for t in timings),
+        injected_uops=sum(t.injected_uops for t in timings),
+        macro_instructions=sum(t.macro_instructions for t in timings),
+        memory_accesses=sum(t.memory_accesses for t in timings),
+        lock_cache_misses=sum(t.lock_cache_misses for t in timings),
+        l1d_misses=sum(t.l1d_misses for t in timings),
+        port_waits=port_waits,
+    )
+    injection = InjectionStats(**{
+        field.name: sum(getattr(outcome.injection, field.name)
+                        for outcome in outcomes)
+        for field in dataclasses.fields(InjectionStats)})
+    pointer = PointerIdStats(
+        memory_ops=sum(o.pointer_stats.memory_ops for o in outcomes),
+        pointer_ops=sum(o.pointer_stats.pointer_ops for o in outcomes))
+    pages = PageAccountant()
+    for outcome in outcomes:
+        pages.data_words |= outcome.pages.data_words
+        pages.shadow_words |= outcome.pages.shadow_words
+    return SimulationOutcome(
+        benchmark=first.benchmark,
+        configuration=first.configuration,
+        timing=timing,
+        injection=injection,
+        pointer_stats=pointer,
+        pages=pages,
+    )
+
+
 class Simulator:
     """Runs workloads and programs under Watchdog configurations.
 
@@ -77,12 +141,7 @@ class Simulator:
     def __init__(self, machine: Optional[MachineConfig] = None,
                  pipeline: Optional[str] = None):
         self.machine = machine or MachineConfig()
-        if pipeline is None:
-            pipeline = os.environ.get("REPRO_PIPELINE", PIPELINE_COMPILED)
-        if pipeline not in (PIPELINE_COMPILED, PIPELINE_REFERENCE):
-            raise ValueError(f"unknown pipeline {pipeline!r} "
-                             f"(expected 'compiled' or 'reference')")
-        self.pipeline = pipeline
+        self.pipeline = resolve_pipeline(pipeline)
 
     # -- workload timing runs ---------------------------------------------------------
     def run_trace(self, trace: Iterable[DynamicOp], config: WatchdogConfig,
@@ -118,6 +177,12 @@ class Simulator:
             if outcome is not None:
                 return outcome
             # Unsupported trace shape: fall through to the reference model.
+        return self._run_trace_reference(trace, config, name, warmup_trace,
+                                         workload)
+
+    def _run_trace_reference(self, trace, config, name, warmup_trace,
+                             workload) -> SimulationOutcome:
+        """Expand and time a trace through the reference object pipeline."""
         pages = PageAccountant()
         expander = TraceExpander(config, pages=pages)
         core = OutOfOrderCore(machine=self.machine, watchdog=config)
@@ -237,21 +302,27 @@ class Simulator:
 
     def run_benchmark(self, benchmark: str, config: WatchdogConfig,
                       instructions: int = 20_000, seed: int = 0,
-                      warmup_instructions: Optional[int] = None) -> SimulationOutcome:
+                      warmup_instructions: Optional[int] = None,
+                      sampling: Optional["SamplingConfig"] = None) -> SimulationOutcome:
         """Generate and time one SPEC-like synthetic benchmark."""
         profile = profile_by_name(benchmark)
         return self.run_profile(profile, config, instructions=instructions, seed=seed,
-                                warmup_instructions=warmup_instructions)
+                                warmup_instructions=warmup_instructions,
+                                sampling=sampling)
 
     def run_profile(self, profile: BenchmarkProfile, config: WatchdogConfig,
                     instructions: int = 20_000, seed: int = 0,
-                    warmup_instructions: Optional[int] = None) -> SimulationOutcome:
+                    warmup_instructions: Optional[int] = None,
+                    sampling: Optional["SamplingConfig"] = None) -> SimulationOutcome:
         """Generate and time a workload from an explicit profile.
 
         The workload generator produces one continuous dynamic stream; the
         first ``warmup_instructions`` (default: a quarter of the measured
         portion) warm the caches and the remainder is measured, mirroring the
         warm-up/measure structure of the paper's sampling methodology.
+        ``sampling`` instead applies the §9.1 periodic schedule itself: the
+        stream is segmented into fast-forward/warm-up/measure windows and
+        only the measure windows are timed (see :meth:`run_bundle`).
 
         The measured portion streams straight into the timing core (O(1)
         trace memory, suitable for very long one-off runs); sweeps that need
@@ -259,6 +330,12 @@ class Simulator:
         :class:`TraceBundle` instead and use :meth:`run_bundle`, which
         produces bit-identical results.
         """
+        if sampling is not None:
+            bundle = TraceBundle.generate(profile, seed=seed,
+                                          instructions=instructions,
+                                          warmup_instructions=warmup_instructions,
+                                          sampling=sampling)
+            return self.run_bundle(bundle, config)
         workload = SyntheticWorkload(profile, seed=seed)
         if warmup_instructions is None:
             warmup_instructions = default_warmup_instructions(instructions)
@@ -278,7 +355,14 @@ class Simulator:
         configuration-equivalence class, so replaying n configurations costs
         one tokenization, one compilation per injection behaviour, and n
         array-scheduler runs.
+
+        A sampled bundle (§9.1) runs each measure window as an independent
+        timing run — fresh core, working set installed from the window's own
+        snapshot, warm-up window replayed untimed — and aggregates the
+        per-sample results (see :func:`_aggregate_outcomes`).
         """
+        if bundle.samples:
+            return self._run_sampled(bundle, config)
         if self.pipeline == PIPELINE_COMPILED:
             from repro.sim.compiled import CompiledTraceUnsupported
 
@@ -294,6 +378,38 @@ class Simulator:
                               name=bundle.benchmark,
                               warmup_trace=bundle.warmup or None,
                               workload=bundle.working_set)
+
+    def _run_sampled(self, bundle: TraceBundle,
+                     config: WatchdogConfig) -> SimulationOutcome:
+        """Replay every sample of a sampled bundle and fold the results.
+
+        Each sample is an ordinary (warm-up, working set, measured) replay at
+        window scale, so both pipelines reuse their unsampled machinery
+        unchanged — which is what keeps compiled and reference bit-identical
+        under sampling.
+        """
+        outcomes: List[SimulationOutcome] = []
+        for index, sample in enumerate(bundle.samples):
+            if self.pipeline == PIPELINE_COMPILED:
+                from repro.sim.compiled import CompiledTraceUnsupported
+
+                try:
+                    streams = bundle.compiled_sample_streams(
+                        index, config, machine=self.machine)
+                except CompiledTraceUnsupported:
+                    pass
+                else:
+                    outcomes.append(self._run_compiled(
+                        streams.measured, streams.warm, streams.working_set,
+                        config, bundle.benchmark))
+                    continue
+            # Straight to the reference model: compilation of this exact
+            # sample just failed (or the reference pipeline is selected), so
+            # run_trace's re-tokenize-and-retry would be wasted work.
+            outcomes.append(self._run_trace_reference(
+                iter(sample.measured), config, bundle.benchmark,
+                sample.warmup or None, sample.working_set))
+        return _aggregate_outcomes(outcomes)
 
     # -- program detection runs --------------------------------------------------------
     def run_program(self, program: Program, config: WatchdogConfig,

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import WatchdogConfig
+from repro.errors import ConfigurationError
+from repro.sim.sampling import SamplingConfig
 from repro.workloads.profiles import benchmark_names
 
 #: Default dynamic macro-instruction count per benchmark run.  Large enough
@@ -37,6 +39,22 @@ DEFAULT_SEED = 7
 BASELINE_LABEL = "baseline"
 
 
+def validate_sampling(sampling: Optional[SamplingConfig]) -> Optional[SamplingConfig]:
+    """Check a spec's sampling selection at construction time.
+
+    Specs are built long before any cell simulates (often in a different
+    process than the one that executes them), so a bad sampling value must
+    surface here with a field-specific message, not as a mid-sweep failure.
+    """
+    if sampling is None:
+        return None
+    if not isinstance(sampling, SamplingConfig):
+        raise ConfigurationError(
+            f"sampling must be a SamplingConfig or None, "
+            f"got {type(sampling).__name__}: {sampling!r}")
+    return sampling.validate()
+
+
 @dataclass(frozen=True)
 class ExperimentSettings:
     """Knobs shared by all figure experiments."""
@@ -44,6 +62,11 @@ class ExperimentSettings:
     benchmarks: Tuple[str, ...] = tuple(benchmark_names())
     instructions: int = DEFAULT_INSTRUCTIONS
     seed: int = DEFAULT_SEED
+    #: §9.1 periodic-sampling schedule; ``None`` measures every instruction.
+    sampling: Optional[SamplingConfig] = None
+
+    def __post_init__(self) -> None:
+        validate_sampling(self.sampling)
 
     @classmethod
     def quick(cls, benchmarks: Optional[Sequence[str]] = None,
@@ -65,6 +88,15 @@ class RunRequest:
     #: ``None`` selects the default warm-up window (see
     #: :func:`repro.workloads.bundle.default_warmup_instructions`).
     warmup_instructions: Optional[int] = None
+    #: §9.1 periodic-sampling schedule; ``None`` measures every instruction.
+    sampling: Optional[SamplingConfig] = None
+
+    def __post_init__(self) -> None:
+        validate_sampling(self.sampling)
+        if self.sampling is not None and self.warmup_instructions is not None:
+            raise ConfigurationError(
+                "warmup_instructions cannot be combined with a sampling "
+                "schedule: the schedule's warm-up windows apply")
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -109,7 +141,8 @@ class ExperimentSpec:
                 cells.append(RunRequest(
                     benchmark=benchmark, label=label, config=config,
                     instructions=self.settings.instructions,
-                    seed=self.settings.seed))
+                    seed=self.settings.seed,
+                    sampling=self.settings.sampling))
         return cells
 
     def __len__(self) -> int:

@@ -13,9 +13,12 @@ configurations with bit-identical results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import islice
 from typing import Iterator, Optional, Tuple, Union
 
+from repro.errors import ConfigurationError
+from repro.sim.sampling import SamplingConfig, SamplingSchedule
 from repro.sim.trace import DynamicOp
 from repro.workloads.profiles import BenchmarkProfile, profile_by_name
 from repro.workloads.synthetic import SyntheticWorkload
@@ -62,6 +65,23 @@ WorkingSet = Union[SyntheticWorkload, WorkingSetSnapshot]
 
 
 @dataclass(frozen=True)
+class SampleSegment:
+    """One §9.1 sampling period's replayable portion.
+
+    The fast-forward window is applied *functionally* at generation time (the
+    workload generator advances through it, no trace is kept); what remains
+    is the warm-up stream, the working set frozen at the warm-up/measure
+    boundary, and the measured stream — exactly the inputs one unsampled
+    timing run takes, so each sample replays through the unchanged
+    per-pipeline machinery.
+    """
+
+    warmup: Tuple[DynamicOp, ...]
+    measured: Tuple[DynamicOp, ...]
+    working_set: WorkingSetSnapshot
+
+
+@dataclass(frozen=True)
 class TraceBundle:
     """One benchmark's dynamic trace, generated once and replayed many times."""
 
@@ -75,11 +95,17 @@ class TraceBundle:
     measured: Tuple[DynamicOp, ...]
     #: Live working set at the warm-up/measure boundary.
     working_set: WorkingSetSnapshot
+    #: The §9.1 schedule this bundle was segmented under, or ``None`` for a
+    #: conventional (fully measured) bundle.
+    sampling: Optional[SamplingConfig] = None
+    #: Per-period replay segments; empty unless ``sampling`` is set.
+    samples: Tuple[SampleSegment, ...] = field(default=())
 
     @classmethod
     def generate(cls, profile: Union[str, BenchmarkProfile], seed: int,
                  instructions: int,
-                 warmup_instructions: Optional[int] = None) -> "TraceBundle":
+                 warmup_instructions: Optional[int] = None,
+                 sampling: Optional[SamplingConfig] = None) -> "TraceBundle":
         """Generate the warm-up and measured streams for one benchmark.
 
         The generation order matches a direct :meth:`Simulator.run_profile`
@@ -87,9 +113,30 @@ class TraceBundle:
         snapshotted at the warm-up/measure boundary, and the measured portion
         continues the same generator state — so replaying the bundle is
         indistinguishable from regenerating the workload per configuration.
+
+        With ``sampling``, the ``instructions``-long dynamic stream is instead
+        segmented into the schedule's skip/warm-up/measure windows (see
+        :meth:`_generate_sampled`).  A schedule that would measure everything
+        (no fast-forward, no warm-up) or nothing (the trace ends inside the
+        first fast-forward window) is normalized to the unsampled layout, so
+        degenerate schedules reproduce the unsampled results bit-for-bit.
         """
         if isinstance(profile, str):
             profile = profile_by_name(profile)
+        if sampling is not None:
+            if warmup_instructions is not None:
+                # The schedule's own warm-up windows define cache priming;
+                # accepting both would silently ignore one of them (and which
+                # one would depend on whether the schedule normalizes below).
+                raise ConfigurationError(
+                    "warmup_instructions cannot be combined with a sampling "
+                    "schedule: the schedule's warm-up windows apply")
+            schedule = SamplingSchedule(sampling.validate())
+            if sampling.degenerate or schedule.measured_count(instructions) == 0:
+                sampling = None
+            else:
+                return cls._generate_sampled(profile, seed, instructions,
+                                             sampling, schedule)
         if warmup_instructions is None:
             warmup_instructions = default_warmup_instructions(instructions)
         workload = SyntheticWorkload(profile, seed=seed)
@@ -101,8 +148,58 @@ class TraceBundle:
                    warmup_instructions=warmup_instructions, warmup=warmup,
                    measured=measured, working_set=snapshot)
 
-    def __len__(self) -> int:
+    @classmethod
+    def _generate_sampled(cls, profile: BenchmarkProfile, seed: int,
+                          instructions: int, sampling: SamplingConfig,
+                          schedule: SamplingSchedule) -> "TraceBundle":
+        """Segment one continuous generation run into sampling periods.
+
+        One generator walks the whole ``instructions`` horizon so the dynamic
+        stream is identical to what an unsampled run of the same length would
+        produce; the schedule only decides each window's fate: skip windows
+        are drained (fast-forward advances the workload functionally —
+        allocator state, working set and locality cursors move, nothing is
+        kept), warm-up windows are materialized for untimed cache priming,
+        and each measure window is materialized for timing with the working
+        set frozen at its warm-up/measure boundary.
+        """
+        workload = SyntheticWorkload(profile, seed=seed)
+        # One generator spans every window: a fresh generate() call per
+        # window would truncate the multi-op event in flight at each
+        # boundary and re-roll the next, silently diverging from the
+        # continuous stream the windows claim to be positions of.
+        stream = workload.generate(instructions)
+        samples = []
+        pending_warm: Tuple[DynamicOp, ...] = ()
+        for start, end, phase in schedule.windows(instructions):
+            length = end - start
+            if phase == SamplingSchedule.SKIP:
+                for _ in islice(stream, length):
+                    pass
+                pending_warm = ()
+            elif phase == SamplingSchedule.WARMUP:
+                pending_warm = tuple(islice(stream, length))
+            else:
+                snapshot = workload.snapshot_working_set()
+                samples.append(SampleSegment(
+                    warmup=pending_warm,
+                    measured=tuple(islice(stream, length)),
+                    working_set=snapshot))
+                pending_warm = ()
+        return cls(benchmark=profile.name, seed=seed, instructions=instructions,
+                   warmup_instructions=0, warmup=(), measured=(),
+                   working_set=workload.snapshot_working_set(),
+                   sampling=sampling, samples=tuple(samples))
+
+    @property
+    def measured_instructions(self) -> int:
+        """Dynamic instructions the timing model actually replays."""
+        if self.samples:
+            return sum(len(sample.measured) for sample in self.samples)
         return len(self.measured)
+
+    def __len__(self) -> int:
+        return self.measured_instructions
 
     # -- compiled-stream cache ----------------------------------------------------
     def compiled_streams(self, config, machine=None):
@@ -114,10 +211,28 @@ class TraceBundle:
         location cache — share one packed stream, one warm-up access
         sequence and one working-set array set.  Tokenization (the
         configuration-independent interning of the dynamic traces) happens
-        at most once per bundle.
+        at most once per bundle (per sample, for sampled bundles).
 
         Returns a :class:`repro.sim.compiled.BundleStreams`.
         """
+        return self._compiled(None, config, machine)
+
+    def compiled_sample_streams(self, index: int, config, machine=None):
+        """Compiled replay artifacts for one :class:`SampleSegment`."""
+        return self._compiled(index, config, machine)
+
+    def _compiled(self, index, config, machine):
+        """Compile (warm-up, measured, working set) for one segment.
+
+        ``index`` selects a sample of a sampled bundle; ``None`` selects the
+        conventional whole-bundle streams.
+        """
+        if index is None and self.samples:
+            # A sampled bundle's top-level streams are empty; compiling them
+            # would "succeed" with a zero-µop result instead of failing.
+            raise ConfigurationError(
+                "sampled bundle has no whole-bundle streams; use "
+                "compiled_sample_streams(index, ...) per sample")
         from repro.pipeline.config import MachineConfig
         from repro.sim.compiled import (
             BundleStreams,
@@ -131,27 +246,70 @@ class TraceBundle:
         if streams is None:
             streams = {}
             object.__setattr__(self, _STREAM_CACHE_ATTR, streams)
-        key = (stream_class_key(config), machine)
+        key = (stream_class_key(config), machine, index)
         cached = streams.get(key)
         if cached is not None:
             return cached
 
+        segment = self if index is None else self.samples[index]
         tokens = self.__dict__.get(_TOKEN_CACHE_ATTR)
         if tokens is None:
-            tokens = (tokenize(self.measured),
-                      tokenize(self.warmup) if self.warmup else None)
+            tokens = {}
             object.__setattr__(self, _TOKEN_CACHE_ATTR, tokens)
-        measured_tokens, warm_tokens = tokens
+        segment_tokens = tokens.get(index)
+        if segment_tokens is None:
+            segment_tokens = tokens[index] = (
+                tokenize(segment.measured),
+                tokenize(segment.warmup) if segment.warmup else None)
+        measured_tokens, warm_tokens = segment_tokens
 
         compiler = StreamCompiler(config, machine)
         built = BundleStreams(
             measured=compiler.compile_measured(measured_tokens),
             warm=compiler.compile_warm(warm_tokens)
             if warm_tokens is not None else None,
-            working_set=compiler.working_set_arrays(self.working_set),
+            working_set=compiler.working_set_arrays(segment.working_set),
         )
         streams[key] = built
         return built
+
+    def footprint_ops(self) -> int:
+        """The bundle's pinned memory, in dynamic-op equivalents.
+
+        What the engine's per-process bundle memo budgets against: the raw
+        trace streams (top-level and per-sample), the working-set snapshots,
+        and — crucially for long sampled bundles — the lazily-built token and
+        compiled-stream caches this instance currently pins, which for a
+        compiled replay dwarf the traces themselves.
+        """
+        def _snapshot_ops(snapshot: WorkingSetSnapshot) -> int:
+            return len(snapshot.lines) + len(snapshot.locks)
+
+        ops = len(self.measured) + len(self.warmup) \
+            + _snapshot_ops(self.working_set)
+        for sample in self.samples:
+            ops += len(sample.measured) + len(sample.warmup) \
+                + _snapshot_ops(sample.working_set)
+        tokens = self.__dict__.get(_TOKEN_CACHE_ATTR)
+        if tokens:
+            for measured_tokens, warm_tokens in tokens.values():
+                ops += len(measured_tokens)
+                if warm_tokens is not None:
+                    ops += len(warm_tokens)
+        streams = self.__dict__.get(_STREAM_CACHE_ATTR)
+        if streams:
+            for built in streams.values():
+                measured = built.measured
+                # uops + lat_template run per µop; mem_pos/mem_addr/mem_spec
+                # run per memory access.
+                ops += 2 * len(measured.uops) + 3 * len(measured.mem_pos)
+                if built.warm is not None:
+                    # addrs + specs.
+                    ops += 2 * len(built.warm)
+                working_set = built.working_set
+                ops += len(working_set.shadow) + len(working_set.locks) \
+                    + len(working_set.data)
+        return ops
 
     def __getstate__(self):
         """Pickle only the trace content, never the compiled caches."""

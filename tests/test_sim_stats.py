@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import WatchdogConfig
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.isa.instructions import Instruction, Opcode, PointerHint
 from repro.isa.microops import UopKind
 from repro.isa.registers import int_reg
@@ -76,6 +76,85 @@ class TestSampling:
     def test_unsampled_config(self):
         config = SamplingConfig.unsampled(100)
         assert config.sampled_fraction == 1.0
+        assert config.degenerate
+
+    def test_quick_schedule(self):
+        config = SamplingConfig.quick()
+        assert config.sampled_fraction == pytest.approx(0.10)
+        assert not config.degenerate
+
+    # -- windows()/measured_count() edge cases ------------------------------------
+    def test_windows_empty_trace(self):
+        schedule = SamplingSchedule(SamplingConfig(fast_forward=4, warmup=2, sample=2))
+        assert schedule.windows(0) == []
+        assert schedule.measured_count(0) == 0
+
+    def test_trace_shorter_than_fast_forward_measures_nothing(self):
+        schedule = SamplingSchedule(SamplingConfig(fast_forward=100, warmup=10,
+                                                   sample=10))
+        assert schedule.windows(60) == [(0, 60, SamplingSchedule.SKIP)]
+        assert schedule.measured_count(60) == 0
+
+    def test_trace_ending_inside_warmup(self):
+        schedule = SamplingSchedule(SamplingConfig(fast_forward=4, warmup=4, sample=2))
+        assert schedule.windows(6) == [(0, 4, SamplingSchedule.SKIP),
+                                       (4, 6, SamplingSchedule.WARMUP)]
+        assert schedule.measured_count(6) == 0
+
+    def test_boundary_aligned_periods(self):
+        config = SamplingConfig(fast_forward=4, warmup=2, sample=2)
+        schedule = SamplingSchedule(config)
+        windows = schedule.windows(3 * config.period)
+        assert len(windows) == 9
+        assert windows[-1] == (22, 24, SamplingSchedule.MEASURE)
+        # Windows tile [0, total) exactly.
+        assert windows[0][0] == 0
+        assert all(a[1] == b[0] for a, b in zip(windows, windows[1:]))
+        assert schedule.measured_count(3 * config.period) == 3 * config.sample
+
+    def test_partial_final_measure_window(self):
+        schedule = SamplingSchedule(SamplingConfig(fast_forward=4, warmup=2, sample=4))
+        # Second period's measure window is cut at total=17: [16, 17).
+        assert schedule.windows(17)[-1] == (16, 17, SamplingSchedule.MEASURE)
+        assert schedule.measured_count(17) == 5
+
+    def test_no_fast_forward_merges_warm_and_measure_per_period(self):
+        schedule = SamplingSchedule(SamplingConfig(fast_forward=0, warmup=2, sample=2))
+        assert schedule.windows(8) == [
+            (0, 2, SamplingSchedule.WARMUP), (2, 4, SamplingSchedule.MEASURE),
+            (4, 6, SamplingSchedule.WARMUP), (6, 8, SamplingSchedule.MEASURE)]
+
+    def test_degenerate_schedule_is_one_measure_window(self):
+        schedule = SamplingSchedule(SamplingConfig(fast_forward=0, warmup=0, sample=3))
+        assert schedule.windows(10) == [(0, 10, SamplingSchedule.MEASURE)]
+        assert schedule.measured_count(10) == 10
+
+    def test_windows_match_per_index_classification(self):
+        schedule = SamplingSchedule(SamplingConfig(fast_forward=3, warmup=2, sample=4))
+        for total in (0, 1, 3, 5, 8, 9, 13, 27):
+            windows = schedule.windows(total)
+            covered = [phase for start, end, phase in windows
+                       for _ in range(start, end)]
+            assert covered == [schedule.phase_of(i) for i in range(total)]
+            assert schedule.measured_count(total) == \
+                sum(1 for _ in schedule.measured_indices(total))
+
+    # -- field-specific validation (spec-construction-time errors) -----------------
+    def test_negative_fast_forward_names_the_field(self):
+        with pytest.raises(ConfigurationError, match="fast_forward must be >= 0"):
+            SamplingConfig(fast_forward=-1)
+
+    def test_negative_warmup_names_the_field(self):
+        with pytest.raises(ConfigurationError, match="warmup must be >= 0"):
+            SamplingConfig(warmup=-5)
+
+    def test_zero_sample_names_the_field(self):
+        with pytest.raises(ConfigurationError, match="sample must be > 0"):
+            SamplingConfig(sample=0)
+
+    def test_non_integer_length_rejected(self):
+        with pytest.raises(ConfigurationError, match="warmup must be an integer"):
+            SamplingConfig(warmup=0.5)
 
 
 class TestResults:
