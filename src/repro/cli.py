@@ -16,7 +16,6 @@ skip already-computed cells entirely.
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import sys
 import time
 from typing import List, Optional
@@ -25,20 +24,17 @@ from repro.experiments import (
     EXPERIMENTS,
     STANDALONE_EXPERIMENTS,
     SWEEP_EXPERIMENTS,
-    ExperimentSettings,
     OverheadSweep,
 )
 from repro.sim.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.sim.engine import SweepEngine
-from repro.sim.sampling import SamplingConfig
-from repro.workloads.profiles import benchmark_names, long_profile_names
-
-#: ``--sampling`` choices: §9.1 schedules by name (``none`` disables).
-SAMPLING_SCHEDULES = {
-    "none": lambda: None,
-    "quick": SamplingConfig.quick,
-    "paper": SamplingConfig.paper,
-}
+from repro.sim.sampling import SAMPLING_SCHEDULES
+from repro.sim.spec import settings_from_args
+from repro.workloads.profiles import (
+    benchmark_names,
+    long_profile_names,
+    paper_profile_names,
+)
 
 
 def _experiment_description(module) -> str:
@@ -73,7 +69,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sampling", choices=sorted(SAMPLING_SCHEDULES),
                      default="none",
                      help="periodic §9.1 sampling schedule: 'paper' "
-                          "(480M/10M/10M, 2%% measured), 'quick' "
+                          "(480M/10M/10M, 2%% measured), 'paper-scaled' "
+                          "(the paper's 96/2/2 structure at a 10M period, "
+                          "fits the 100M *-paper horizons), 'quick' "
                           "(80k/10k/10k, 10%% measured), or 'none' "
                           "(default; measure everything)")
     run.add_argument("--no-cache", action="store_true",
@@ -106,6 +104,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-sampled", action="store_true",
                        help="skip the sampled long-profile cell (timed by "
                             "default and gated by --check)")
+    bench.add_argument("--no-fast-forward", action="store_true",
+                       help="skip the skip-window-only fast-forward cell")
+    bench.add_argument("--no-paper", action="store_true",
+                       help="skip the 100M-instruction paper-scale sampled "
+                            "smoke cell")
     bench.add_argument("--no-reference", action="store_true",
                        help="skip timing the reference object pipeline")
     bench.add_argument("--output", "-o", metavar="FILE", default=None,
@@ -120,25 +123,6 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _settings_from(args) -> ExperimentSettings:
-    benchmarks = tuple(args.benchmarks.split(",")) if args.benchmarks else None
-    if args.quick:
-        settings = ExperimentSettings.quick(benchmarks=benchmarks)
-    elif benchmarks:
-        settings = ExperimentSettings(benchmarks=benchmarks)
-    else:
-        settings = ExperimentSettings()
-    updates = {}
-    if args.instructions is not None:
-        updates["instructions"] = args.instructions
-    if args.seed is not None:
-        updates["seed"] = args.seed
-    sampling = SAMPLING_SCHEDULES[getattr(args, "sampling", "none")]()
-    if sampling is not None:
-        updates["sampling"] = sampling
-    return dataclasses.replace(settings, **updates) if updates else settings
-
-
 def _cmd_list() -> int:
     print("sweep experiments (benchmark × configuration grids):")
     for name, module in SWEEP_EXPERIMENTS.items():
@@ -150,14 +134,22 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro.errors import ConfigurationError
+
     names: List[str] = list(EXPERIMENTS) if args.all else (args.figures or [])
     if not names:
         print("nothing to run: pass --figure NAME (repeatable) or --all",
               file=sys.stderr)
         return 2
 
-    settings = _settings_from(args)
-    known = set(benchmark_names()) | set(long_profile_names())
+    try:
+        settings = settings_from_args(args)
+    except ConfigurationError as error:
+        # E.g. a paper-scale horizon under a schedule that measures nothing.
+        print(f"invalid settings: {error}", file=sys.stderr)
+        return 2
+    known = set(benchmark_names()) | set(long_profile_names()) \
+        | set(paper_profile_names())
     unknown = [name for name in settings.benchmarks if name not in known]
     if unknown:
         print(f"unknown benchmark(s): {', '.join(unknown)}; "
@@ -209,6 +201,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    from repro.errors import ConfigurationError
     from repro.sim import bench
 
     kwargs = {}
@@ -216,13 +209,11 @@ def _cmd_bench(args) -> int:
         kwargs["instructions"] = args.instructions
     if args.seed is not None:
         kwargs["seed"] = args.seed
-    record = bench.run_bench(
-        benchmarks=tuple(args.benchmarks.split(",")) if args.benchmarks else None,
-        include_reference=not args.no_reference,
-        quick=args.quick,
-        sampling=SAMPLING_SCHEDULES[args.sampling](),
-        include_sampled=not args.no_sampled,
-        **kwargs)
+    try:
+        record = _run_bench_record(bench, args, kwargs)
+    except ConfigurationError as error:
+        print(f"invalid bench settings: {error}", file=sys.stderr)
+        return 2
     print(bench.format_summary(record))
     path = bench.write_record(record, output=args.output)
     print(f"[bench] wrote {path}")
@@ -238,6 +229,18 @@ def _cmd_bench(args) -> int:
         if not ok:
             return 1
     return 0
+
+
+def _run_bench_record(bench, args, kwargs):
+    return bench.run_bench(
+        benchmarks=tuple(args.benchmarks.split(",")) if args.benchmarks else None,
+        include_reference=not args.no_reference,
+        quick=args.quick,
+        sampling=SAMPLING_SCHEDULES[args.sampling](),
+        include_sampled=not args.no_sampled,
+        include_fast_forward=not args.no_fast_forward,
+        include_paper=not args.no_paper,
+        **kwargs)
 
 
 def _cmd_cache(args) -> int:

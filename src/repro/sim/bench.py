@@ -27,8 +27,15 @@ from repro.core.config import WatchdogConfig
 from repro.pipeline.config import MachineConfig
 from repro.sim.sampling import SamplingConfig
 from repro.sim.simulator import PIPELINE_COMPILED, PIPELINE_REFERENCE, Simulator
+from repro.workloads import _ffcore
 from repro.workloads.bundle import TraceBundle
-from repro.workloads.profiles import LONG_HORIZON_INSTRUCTIONS, benchmark_names
+from repro.workloads.profiles import (
+    LONG_HORIZON_INSTRUCTIONS,
+    PAPER_HORIZON_INSTRUCTIONS,
+    benchmark_names,
+    profile_by_name,
+)
+from repro.workloads.synthetic import SyntheticWorkload
 
 #: The Figure 7 cell matrix: identification policies plus the §9.3 ablation,
 #: each measured against the unprotected baseline.
@@ -53,6 +60,25 @@ DEFAULT_SEED = 7
 SAMPLED_BENCHMARK = "mcf-long"
 SAMPLED_INSTRUCTIONS = LONG_HORIZON_INSTRUCTIONS
 SAMPLED_QUICK_INSTRUCTIONS = 400_000
+
+#: The skip-window-only cell: how fast the state-evolution core advances a
+#: workload functionally (no trace materialized).  This is the quantity that
+#: decides whether paper-scale horizons are reachable, gated in CI via
+#: ``fast_forward_ops_per_sec`` (recorded pre-split baseline: ~270k ops/sec,
+#: when skip windows ran the full per-op generation path).
+FAST_FORWARD_BENCHMARK = "mcf-long"
+FAST_FORWARD_OPS = 8_000_000
+FAST_FORWARD_QUICK_OPS = 2_000_000
+
+#: The paper-scale smoke cell: one ``*-paper`` benchmark over the full 100M
+#: instruction horizon under a §9.1 schedule that keeps the timed portion
+#: smoke-test sized (0.2% measured, 4 periods).  Its completion inside the
+#: CI perf-smoke job is what demonstrates the paper's measurement regime is
+#: actually reachable end to end.
+PAPER_BENCHMARK = "mcf-paper"
+PAPER_INSTRUCTIONS = PAPER_HORIZON_INSTRUCTIONS
+PAPER_SMOKE_SAMPLING = SamplingConfig(fast_forward=24_900_000,
+                                      warmup=50_000, sample=50_000)
 
 
 def repo_revision() -> str:
@@ -156,20 +182,65 @@ def run_sampled_cell(benchmark: str = SAMPLED_BENCHMARK,
     }
 
 
+def run_fast_forward_cell(benchmark: str = FAST_FORWARD_BENCHMARK,
+                          ops: int = FAST_FORWARD_OPS,
+                          seed: int = DEFAULT_SEED) -> Dict[str, object]:
+    """Time a pure skip window: functional fast-forward, nothing emitted.
+
+    Workload construction (the initial working-set population) is excluded —
+    the cell measures exactly what a §9.1 skip window costs.  ``accelerated``
+    records whether the native kernel was active, so a regression caused by
+    a silently failed kernel build is distinguishable from a real slowdown.
+    """
+    workload = SyntheticWorkload(profile_by_name(benchmark), seed=seed)
+    t0 = time.perf_counter()
+    workload.fast_forward(ops)
+    wall = time.perf_counter() - t0
+    return {
+        "benchmark": benchmark,
+        "ops": ops,
+        "wall_seconds": round(wall, 4),
+        "fast_forward_ops_per_sec": round(ops / wall, 1) if wall else 0.0,
+        "accelerated": _ffcore.load() is not None,
+    }
+
+
+def run_paper_cell(benchmark: str = PAPER_BENCHMARK,
+                   instructions: int = PAPER_INSTRUCTIONS,
+                   seed: int = DEFAULT_SEED,
+                   sampling: Optional[SamplingConfig] = None,
+                   machine: Optional[MachineConfig] = None) -> Dict[str, object]:
+    """Run one paper-scale (100M-instruction) sampled cell end to end.
+
+    Identical in shape to :func:`run_sampled_cell` but at the paper horizon:
+    generation walks all 100M instructions (fast-forward covers 99.8% of
+    them), and only the schedule's measure windows are timed.
+    """
+    return run_sampled_cell(benchmark=benchmark, instructions=instructions,
+                            seed=seed,
+                            sampling=sampling or PAPER_SMOKE_SAMPLING,
+                            machine=machine)
+
+
 def run_bench(benchmarks: Optional[Sequence[str]] = None,
               instructions: Optional[int] = None,
               seed: int = DEFAULT_SEED,
               include_reference: bool = True,
               quick: bool = False,
               sampling: Optional[SamplingConfig] = None,
-              include_sampled: bool = True) -> Dict[str, object]:
+              include_sampled: bool = True,
+              include_fast_forward: bool = True,
+              include_paper: bool = True) -> Dict[str, object]:
     """Run the benchmark (optionally under both pipelines) and summarize.
 
     ``instructions=None`` selects the scale implied by ``quick``; an
     explicit count always wins.  ``sampling`` applies a §9.1 schedule to the
     whole matrix; independently, ``include_sampled`` appends the sampled
     long-profile cell (:func:`run_sampled_cell`) that regression-gates the
-    sampling fast path.
+    sampling fast path, ``include_fast_forward`` the skip-window-only cell
+    (:func:`run_fast_forward_cell`), and ``include_paper`` the 100M
+    paper-scale smoke cell (:func:`run_paper_cell` — deliberately not scaled
+    down by ``quick``: completing the full paper horizon is the point).
     """
     if quick:
         benchmarks = tuple(benchmarks or QUICK_BENCHMARKS)
@@ -207,6 +278,12 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
         record["sampled"] = run_sampled_cell(
             instructions=SAMPLED_QUICK_INSTRUCTIONS if quick
             else SAMPLED_INSTRUCTIONS, seed=seed)
+    if include_fast_forward:
+        record["fast_forward"] = run_fast_forward_cell(
+            ops=FAST_FORWARD_QUICK_OPS if quick else FAST_FORWARD_OPS,
+            seed=seed)
+    if include_paper:
+        record["paper_sampled"] = run_paper_cell(seed=seed)
     return record
 
 
@@ -226,30 +303,42 @@ def check_against_baseline(record: Dict[str, object], baseline_path: str,
     Returns (ok, message).  The baseline file stores the floor-setting
     ``uops_per_sec`` (typically measured on the slowest supported runner
     class); the check fails when throughput drops more than
-    ``max_regression`` below it.  A ``sampled_uops_per_sec`` baseline entry
-    additionally gates the sampled long-profile cell the same way.
+    ``max_regression`` below it.  ``sampled_uops_per_sec``,
+    ``fast_forward_ops_per_sec`` and ``paper_sampled_uops_per_sec`` baseline
+    entries additionally gate the sampled long-profile cell, the
+    skip-window-only fast-forward cell and the 100M paper-scale cell the
+    same way.
     """
     data = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
     checks = [("matrix", float(data["uops_per_sec"]),
-               float(record["compiled"]["uops_per_sec"]))]
-    sampled_baseline = data.get("sampled_uops_per_sec")
-    sampled = record.get("sampled")
+               float(record["compiled"]["uops_per_sec"]), "uops/sec")]
     skipped = []
-    if sampled_baseline is not None:
-        if sampled is not None:
-            checks.append(("sampled", float(sampled_baseline),
-                           float(sampled["uops_per_sec"])))
+    #: (cell name, baseline key, record key within the cell, unit).
+    optional_gates = (
+        ("sampled", "sampled_uops_per_sec", "uops_per_sec", "uops/sec"),
+        ("fast_forward", "fast_forward_ops_per_sec",
+         "fast_forward_ops_per_sec", "ops/sec"),
+        ("paper_sampled", "paper_sampled_uops_per_sec", "uops_per_sec",
+         "uops/sec"),
+    )
+    for name, baseline_key, record_key, unit in optional_gates:
+        floor = data.get(baseline_key)
+        if floor is None:
+            continue
+        cell = record.get(name)
+        if cell is not None:
+            checks.append((name, float(floor), float(cell[record_key]), unit))
         else:
-            # The baseline declares a floor but the record has no sampled
-            # cell (--no-sampled): say so rather than silently passing.
-            skipped.append("sampled: SKIPPED (no sampled cell in record)")
+            # The baseline declares a floor but the record skipped the cell
+            # (--no-sampled and friends): say so rather than silently pass.
+            skipped.append(f"{name}: SKIPPED (no {name} cell in record)")
     ok = True
     parts = []
-    for name, baseline_rate, measured in checks:
+    for name, baseline_rate, measured, unit in checks:
         floor = baseline_rate * (1.0 - max_regression)
         passed = measured >= floor
         ok = ok and passed
-        parts.append(f"{name}: measured {measured:,.0f} uops/sec vs baseline "
+        parts.append(f"{name}: measured {measured:,.0f} {unit} vs baseline "
                      f"{baseline_rate:,.0f} (floor {floor:,.0f}, "
                      f"tolerance {max_regression:.0%}): "
                      f"{'OK' if passed else 'REGRESSION'}")
@@ -277,14 +366,23 @@ def format_summary(record: Dict[str, object]) -> str:
     if "speedup_vs_reference" in record:
         lines.append(f"{'speedup':>10}: {record['speedup_vs_reference']}x "
                      f"compiled vs in-tree reference pipeline")
-    sampled = record.get("sampled")
-    if sampled:
+    for key in ("sampled", "paper_sampled"):
+        sampled = record.get(key)
+        if sampled:
+            lines.append(
+                f"{key:>13}: {sampled['benchmark']} "
+                f"{sampled['instructions']:,} instructions, "
+                f"{sampled['samples']} samples "
+                f"({sampled['measured_instructions']:,} measured) — "
+                f"{sampled['uops_per_sec']:,.0f} uops/sec "
+                f"(generate {sampled['generate_seconds']:.2f}s, "
+                f"simulate {sampled['simulate_seconds']:.2f}s)")
+    fast_forward = record.get("fast_forward")
+    if fast_forward:
         lines.append(
-            f"{'sampled':>10}: {sampled['benchmark']} "
-            f"{sampled['instructions']:,} instructions, "
-            f"{sampled['samples']} samples "
-            f"({sampled['measured_instructions']:,} measured) — "
-            f"{sampled['uops_per_sec']:,.0f} uops/sec "
-            f"(generate {sampled['generate_seconds']:.2f}s, "
-            f"simulate {sampled['simulate_seconds']:.2f}s)")
+            f"{'fast-forward':>13}: {fast_forward['benchmark']} "
+            f"{fast_forward['ops']:,} skipped ops in "
+            f"{fast_forward['wall_seconds']:.2f}s — "
+            f"{fast_forward['fast_forward_ops_per_sec']:,.0f} ops/sec "
+            f"({'native kernel' if fast_forward['accelerated'] else 'pure python'})")
     return "\n".join(lines)

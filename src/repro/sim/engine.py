@@ -26,6 +26,7 @@ bit-identical to a ``workers=1`` sweep.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -35,7 +36,7 @@ from repro.pipeline.config import MachineConfig
 from repro.sim.cache import ResultCache
 from repro.sim.results import CellResult
 from repro.sim.sampling import SamplingConfig
-from repro.sim.simulator import Simulator, resolve_pipeline
+from repro.sim.simulator import Simulator, aggregate_outcomes, resolve_pipeline
 from repro.sim.spec import ExperimentSpec, RunRequest
 from repro.workloads.bundle import TraceBundle
 
@@ -107,15 +108,64 @@ def _bundle_for(job: BenchmarkJob) -> TraceBundle:
 
 
 def execute_job(job: BenchmarkJob,
-                machine: Optional[MachineConfig] = None) -> List[CellResult]:
-    """Run every cell of one benchmark job (module-level: picklable)."""
+                machine: Optional[MachineConfig] = None,
+                sample_pool: Optional[ProcessPoolExecutor] = None) -> List[CellResult]:
+    """Run every cell of one benchmark job (module-level: picklable).
+
+    ``sample_pool`` (only ever passed for in-parent execution) enables
+    per-sample parallelism for sampled bundles: the §9.1 samples of one cell
+    are mutually independent, so when a batch degenerates to a single
+    benchmark job — the typical paper-scale shape, one long-horizon cell —
+    the otherwise idle worker pool is used *inside* the cell instead of
+    across cells.
+    """
     bundle = _bundle_for(job)
+    if sample_pool is not None and len(bundle.samples) > 1:
+        return _execute_sampled_job(job, bundle, machine, sample_pool)
     simulator = Simulator(machine, pipeline=job.pipeline)
     results: List[CellResult] = []
     for label, config in job.cells:
         outcome = simulator.run_bundle(bundle, config)
         results.append(CellResult.from_outcome(outcome, label=label))
     return results
+
+
+def _sample_slice_job(payload) -> List[List["SimulationOutcome"]]:
+    """Run one sample slice of a sampled bundle under every cell config.
+
+    The payload's bundle carries a single :class:`SampleSegment`, so only
+    that sample's streams are pickled to the worker; compiled-stream caching
+    inside the slice bundle still shares tokenization and per-equivalence-
+    class compilation across the cell configs.
+    """
+    slice_bundle, configs, machine, pipeline = payload
+    simulator = Simulator(machine, pipeline=pipeline)
+    return [simulator.sample_outcomes(slice_bundle, config)
+            for config in configs]
+
+
+def _execute_sampled_job(job: BenchmarkJob, bundle: TraceBundle,
+                         machine: Optional[MachineConfig],
+                         sample_pool: ProcessPoolExecutor) -> List[CellResult]:
+    """Fan a sampled bundle's samples across the pool, config-batched.
+
+    Each worker task replays one sample under *all* of the job's
+    configurations (tokenizing the sample once); the parent then aggregates
+    per configuration in sample-index order, which is exactly the serial
+    :meth:`Simulator.sample_outcomes` order — results are bit-identical to
+    a ``workers=1`` run.
+    """
+    configs = tuple(config for _, config in job.cells)
+    payloads = [(dataclasses.replace(bundle, samples=(sample,)), configs,
+                 machine, job.pipeline)
+                for sample in bundle.samples]
+    per_config: List[List["SimulationOutcome"]] = [[] for _ in configs]
+    for slice_result in sample_pool.map(_sample_slice_job, payloads):
+        for index, outcomes in enumerate(slice_result):
+            per_config[index].extend(outcomes)
+    return [CellResult.from_outcome(aggregate_outcomes(per_config[index]),
+                                    label=label)
+            for index, (label, _) in enumerate(job.cells)]
 
 
 class SweepEngine:
@@ -239,8 +289,14 @@ class SweepEngine:
 
     def _execute(self, jobs: List[BenchmarkJob]) \
             -> Tuple[List[BenchmarkJob], List[List[CellResult]]]:
-        if self.workers <= 1 or len(jobs) <= 1:
+        if self.workers <= 1:
             return jobs, [execute_job(job, self.machine) for job in jobs]
+        if len(jobs) == 1:
+            # A single job cannot use the pool across benchmarks, but its
+            # §9.1 samples (if any) are independent: execute in-parent and
+            # let execute_job fan the samples out across the pool.
+            return jobs, [execute_job(jobs[0], self.machine,
+                                      sample_pool=self._pool())]
         # ``map`` yields in submission order regardless of completion order,
         # which keeps the merge deterministic.
         results = list(self._pool().map(execute_job, jobs,

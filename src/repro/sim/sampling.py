@@ -61,6 +61,26 @@ class SamplingConfig:
         return cls(fast_forward=480_000_000, warmup=10_000_000, sample=10_000_000)
 
     @classmethod
+    def paper_scaled(cls, period: int = 10_000_000) -> "SamplingConfig":
+        """The §9.1 proportions (96% skip, 2% warm-up, 2% measure) at an
+        arbitrary period.
+
+        The unscaled :meth:`paper` schedule has a 500M-instruction period —
+        longer than the reproduction's 100M-instruction paper horizon, so it
+        would measure nothing there.  This keeps the paper's 2% sampled
+        fraction and its fast-forward : warm-up : sample structure while
+        fitting the period to the horizon (a 100M horizon yields 10 periods
+        at the default 10M period).
+        """
+        if period < 50:
+            raise ConfigurationError(
+                f"paper-scaled sampling period must be >= 50 instructions "
+                f"to hold the 2% sample window, got {period}")
+        sample = period // 50
+        return cls(fast_forward=period - 2 * sample, warmup=sample,
+                   sample=sample)
+
+    @classmethod
     def quick(cls) -> "SamplingConfig":
         """The §9.1 schedule scaled to the reproduction's synthetic horizons.
 
@@ -80,6 +100,17 @@ class SamplingConfig:
     def degenerate(self) -> bool:
         """Whether this schedule measures every instruction (no skip/warm)."""
         return self.fast_forward == 0 and self.warmup == 0
+
+
+#: Named §9.1 schedules selectable from the CLI and the standalone figure
+#: drivers (``--sampling``); each value is a zero-argument factory and
+#: ``none`` disables sampling.
+SAMPLING_SCHEDULES = {
+    "none": lambda: None,
+    "quick": SamplingConfig.quick,
+    "paper": SamplingConfig.paper,
+    "paper-scaled": SamplingConfig.paper_scaled,
+}
 
 
 class SamplingSchedule:

@@ -79,7 +79,7 @@ def resolve_pipeline(pipeline: Optional[str] = None) -> str:
     return pipeline
 
 
-def _aggregate_outcomes(outcomes: Sequence[SimulationOutcome]) -> SimulationOutcome:
+def aggregate_outcomes(outcomes: Sequence[SimulationOutcome]) -> SimulationOutcome:
     """Fold per-sample outcomes into one, §9.1-style.
 
     Cycle and µop counters sum — the aggregate IPC is total µops over total
@@ -359,7 +359,7 @@ class Simulator:
         A sampled bundle (§9.1) runs each measure window as an independent
         timing run — fresh core, working set installed from the window's own
         snapshot, warm-up window replayed untimed — and aggregates the
-        per-sample results (see :func:`_aggregate_outcomes`).
+        per-sample results (see :func:`aggregate_outcomes`).
         """
         if bundle.samples:
             return self._run_sampled(bundle, config)
@@ -381,12 +381,20 @@ class Simulator:
 
     def _run_sampled(self, bundle: TraceBundle,
                      config: WatchdogConfig) -> SimulationOutcome:
-        """Replay every sample of a sampled bundle and fold the results.
+        """Replay every sample of a sampled bundle and fold the results."""
+        return aggregate_outcomes(self.sample_outcomes(bundle, config))
+
+    def sample_outcomes(self, bundle: TraceBundle,
+                        config: WatchdogConfig) -> List[SimulationOutcome]:
+        """Per-sample outcomes of a sampled bundle, in sample order.
 
         Each sample is an ordinary (warm-up, working set, measured) replay at
         window scale, so both pipelines reuse their unsampled machinery
         unchanged — which is what keeps compiled and reference bit-identical
-        under sampling.
+        under sampling.  Samples are mutually independent, which is what lets
+        the sweep engine fan them out across its worker pool and aggregate in
+        index order with bit-identical results (see
+        :func:`repro.sim.engine.execute_job`).
         """
         outcomes: List[SimulationOutcome] = []
         for index, sample in enumerate(bundle.samples):
@@ -409,7 +417,7 @@ class Simulator:
             outcomes.append(self._run_trace_reference(
                 iter(sample.measured), config, bundle.benchmark,
                 sample.warmup or None, sample.working_set))
-        return _aggregate_outcomes(outcomes)
+        return outcomes
 
     # -- program detection runs --------------------------------------------------------
     def run_program(self, program: Program, config: WatchdogConfig,

@@ -39,20 +39,51 @@ DEFAULT_SEED = 7
 BASELINE_LABEL = "baseline"
 
 
-def validate_sampling(sampling: Optional[SamplingConfig]) -> Optional[SamplingConfig]:
+def validate_sampling(sampling: Optional[SamplingConfig],
+                      instructions: Optional[int] = None) -> Optional[SamplingConfig]:
     """Check a spec's sampling selection at construction time.
 
     Specs are built long before any cell simulates (often in a different
     process than the one that executes them), so a bad sampling value must
     surface here with a field-specific message, not as a mid-sweep failure.
+
+    With ``instructions`` given, the schedule is additionally checked against
+    the horizon: at paper scale a schedule that measures nothing cannot be
+    normalized to the unsampled layout (that would materialize the whole
+    horizon), so it is rejected up front with a pointer at
+    :meth:`SamplingConfig.paper_scaled`.
     """
     if sampling is None:
+        if instructions is not None:
+            from repro.workloads.bundle import \
+                MAX_NORMALIZED_UNSAMPLED_INSTRUCTIONS
+
+            if instructions > MAX_NORMALIZED_UNSAMPLED_INSTRUCTIONS:
+                raise ConfigurationError(
+                    f"an unsampled run would materialize all {instructions} "
+                    f"instructions; paper-scale horizons require a §9.1 "
+                    f"sampling schedule (e.g. --sampling paper-scaled / "
+                    f"SamplingConfig.paper_scaled())")
         return None
     if not isinstance(sampling, SamplingConfig):
         raise ConfigurationError(
             f"sampling must be a SamplingConfig or None, "
             f"got {type(sampling).__name__}: {sampling!r}")
-    return sampling.validate()
+    sampling.validate()
+    if instructions is not None:
+        from repro.sim.sampling import SamplingSchedule
+        from repro.workloads.bundle import MAX_NORMALIZED_UNSAMPLED_INSTRUCTIONS
+
+        if instructions > MAX_NORMALIZED_UNSAMPLED_INSTRUCTIONS and \
+                (sampling.degenerate or
+                 SamplingSchedule(sampling).measured_count(instructions) == 0):
+            raise ConfigurationError(
+                f"sampling schedule (period {sampling.period}) measures "
+                f"{'everything' if sampling.degenerate else 'nothing'} "
+                f"over {instructions} instructions; a paper-scale horizon "
+                f"cannot fall back to unsampled execution — use "
+                f"SamplingConfig.paper_scaled() or shrink the period")
+    return sampling
 
 
 @dataclass(frozen=True)
@@ -66,7 +97,7 @@ class ExperimentSettings:
     sampling: Optional[SamplingConfig] = None
 
     def __post_init__(self) -> None:
-        validate_sampling(self.sampling)
+        validate_sampling(self.sampling, self.instructions)
 
     @classmethod
     def quick(cls, benchmarks: Optional[Sequence[str]] = None,
@@ -74,6 +105,53 @@ class ExperimentSettings:
         """A reduced setting for unit tests (few benchmarks, short traces)."""
         chosen = tuple(benchmarks) if benchmarks else ("gzip", "mcf", "lbm", "gcc")
         return cls(benchmarks=chosen, instructions=instructions)
+
+    @classmethod
+    def paper(cls, benchmarks: Optional[Sequence[str]] = None,
+              sampling: Optional[SamplingConfig] = None) -> "ExperimentSettings":
+        """The paper-scale operating point: 100M-instruction horizons over
+        the ``*-paper`` profiles under a horizon-fitted §9.1 schedule."""
+        from repro.workloads.profiles import (
+            PAPER_HORIZON_INSTRUCTIONS,
+            paper_profile_names,
+        )
+
+        return cls(benchmarks=tuple(benchmarks or paper_profile_names()),
+                   instructions=PAPER_HORIZON_INSTRUCTIONS,
+                   sampling=sampling or SamplingConfig.paper_scaled())
+
+
+def settings_from_args(args) -> ExperimentSettings:
+    """Build :class:`ExperimentSettings` from parsed CLI arguments.
+
+    Shared by the ``repro run``/``repro bench`` CLI and the standalone
+    figure drivers; ``args`` needs ``benchmarks`` (comma-separated or
+    ``None``), ``quick``, ``instructions``, ``seed`` and optionally
+    ``sampling`` (a :data:`~repro.sim.sampling.SAMPLING_SCHEDULES` name).
+    Raises :class:`~repro.errors.ConfigurationError` for invalid
+    combinations (e.g. a paper-scale horizon whose schedule measures
+    nothing).
+    """
+    import dataclasses
+
+    from repro.sim.sampling import SAMPLING_SCHEDULES
+
+    benchmarks = tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    if args.quick:
+        settings = ExperimentSettings.quick(benchmarks=benchmarks)
+    elif benchmarks:
+        settings = ExperimentSettings(benchmarks=benchmarks)
+    else:
+        settings = ExperimentSettings()
+    updates = {}
+    if args.instructions is not None:
+        updates["instructions"] = args.instructions
+    if args.seed is not None:
+        updates["seed"] = args.seed
+    sampling = SAMPLING_SCHEDULES[getattr(args, "sampling", "none")]()
+    if sampling is not None:
+        updates["sampling"] = sampling
+    return dataclasses.replace(settings, **updates) if updates else settings
 
 
 @dataclass(frozen=True)
@@ -92,7 +170,7 @@ class RunRequest:
     sampling: Optional[SamplingConfig] = None
 
     def __post_init__(self) -> None:
-        validate_sampling(self.sampling)
+        validate_sampling(self.sampling, self.instructions)
         if self.sampling is not None and self.warmup_instructions is not None:
             raise ConfigurationError(
                 "warmup_instructions cannot be combined with a sampling "

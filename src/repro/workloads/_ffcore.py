@@ -1,0 +1,389 @@
+"""Optional native kernel for the workload fast-forward loop.
+
+The state-evolution core (:mod:`repro.workloads.state_core`) must advance a
+skip window's worth of events while keeping the Mersenne-Twister position
+bit-identical to what per-op generation would have drawn — which caps a pure
+Python loop at roughly a million events per second.  This module compiles a
+small C kernel (with the system C compiler, at first use, cached on disk)
+that replicates CPython's MT19937 primitives — ``random()`` is two tempered
+words combined as ``genrand_res53`` and ``_randbelow(n)`` is
+``getrandbits(n.bit_length())`` with rejection — and runs the event-advance
+loop over the core's shared slot arrays at tens of millions of ops/sec.
+
+The kernel is strictly optional: when no compiler is available, compilation
+fails, the self-test disagrees with :mod:`random`, or ``REPRO_FFCORE=0`` is
+set, :func:`load` returns ``None`` and the core falls back to the pure-Python
+span loop.  Both paths are verified bit-identical by the golden fast-forward
+tests.  Allocator events are *not* handled in C: the kernel consumes their
+RNG draws, then returns control so Python applies the malloc/free effects
+against the real :class:`~repro.allocator.runtime.InstrumentedRuntime`.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import random
+import subprocess
+import tempfile
+from array import array
+from pathlib import Path
+from typing import Optional
+
+#: ``scal`` slot layout shared with the C kernel (int64 in/out registers).
+SCAL_REMAINING = 0
+SCAL_VALUE_ROTATION = 1
+SCAL_GLOBAL_CURSOR = 2
+SCAL_CALL_DEPTH = 3
+SCAL_N_ORDER = 4
+SCAL_HOT_LEN = 5
+SCAL_MTI = 6
+SCAL_REASON = 7
+SCAL_FREED_INDEX = 8
+SCAL_ALLOC_SIZE = 9
+SCAL_SLOTS = 12
+
+#: ``ff_advance`` return/``SCAL_REASON`` codes.
+REASON_DONE = 0
+REASON_ALLOC = 1
+
+_SOURCE = r"""
+/* Fast-forward kernel: exact replica of the WorkloadCore event-advance loop.
+ *
+ * MT19937 follows CPython's _randommodule.c: the 624-word state plus index
+ * round-trips through random.Random.getstate()/setstate(), rnd() is
+ * genrand_res53 (two tempered words), randbelow() is
+ * _randbelow_with_getrandbits (top bits of one word, rejection-resampled).
+ * Any change to the draw sequence here must match state_core.py exactly.
+ */
+#include <stdint.h>
+#include <string.h>
+
+#define MT_N 624
+#define MT_M 397
+
+typedef struct { uint32_t *mt; int64_t mti; } MT;
+
+static uint32_t genrand(MT *st) {
+    uint32_t y;
+    if (st->mti >= MT_N) {
+        uint32_t *mt = st->mt;
+        int kk;
+        for (kk = 0; kk < MT_N - MT_M; kk++) {
+            y = (mt[kk] & 0x80000000u) | (mt[kk + 1] & 0x7fffffffu);
+            mt[kk] = mt[kk + MT_M] ^ (y >> 1) ^ ((y & 1u) ? 0x9908b0dfu : 0u);
+        }
+        for (; kk < MT_N - 1; kk++) {
+            y = (mt[kk] & 0x80000000u) | (mt[kk + 1] & 0x7fffffffu);
+            mt[kk] = mt[kk + (MT_M - MT_N)] ^ (y >> 1)
+                ^ ((y & 1u) ? 0x9908b0dfu : 0u);
+        }
+        y = (mt[MT_N - 1] & 0x80000000u) | (mt[0] & 0x7fffffffu);
+        mt[MT_N - 1] = mt[MT_M - 1] ^ (y >> 1) ^ ((y & 1u) ? 0x9908b0dfu : 0u);
+        st->mti = 0;
+    }
+    y = st->mt[st->mti++];
+    y ^= (y >> 11);
+    y ^= (y << 7) & 0x9d2c5680u;
+    y ^= (y << 15) & 0xefc60000u;
+    y ^= (y >> 18);
+    return y;
+}
+
+static double rnd(MT *st) {
+    uint32_t a = genrand(st) >> 5, b = genrand(st) >> 6;
+    return (a * 67108864.0 + b) * (1.0 / 9007199254740992.0);
+}
+
+static int64_t randbelow(MT *st, int64_t n) {
+    int shift = 32 - (64 - __builtin_clzll((uint64_t)n));
+    uint32_t r = genrand(st) >> shift;
+    while ((int64_t)r >= n)
+        r = genrand(st) >> shift;
+    return (int64_t)r;
+}
+
+/* One _alu_op worth of draws (no emission): fp roll, then either three
+ * fp-register picks or value-rotation + chain roll + opcode choice. */
+static int64_t alu(MT *st, double fp_compute, int64_t vr) {
+    if (rnd(st) < fp_compute) {
+        randbelow(st, 6); randbelow(st, 6); randbelow(st, 6);
+    } else {
+        vr = (vr + 1) % 6;
+        rnd(st);
+        randbelow(st, 6);
+    }
+    return vr;
+}
+
+/* _runtime_call_ops draws: six ALU ops plus the pointer-register pick. */
+static int64_t runtime_call(MT *st, double fp_compute, int64_t vr) {
+    int i;
+    for (i = 0; i < 6; i++)
+        vr = alu(st, fp_compute, vr);
+    randbelow(st, 6);
+    return vr;
+}
+
+long long ff_advance(uint32_t *mtstate, long long *scal, const double *cd,
+                     const long long *ci, const long long *order,
+                     const long long *sizes, long long *cursors,
+                     const signed char *rich, long long *hot)
+{
+    MT st = { mtstate, scal[6] };
+    int64_t remaining = scal[0], vr = scal[1], gc = scal[2], depth = scal[3];
+    int64_t n_order = scal[4], hot_len = scal[5];
+    const double alloc_p = cd[0], ac_hi = cd[1], mem_hi = cd[2], br_hi = cd[3];
+    const double ptr_f = cd[4], word_f = cd[5], wordfp_f = cd[6], fpc = cd[7];
+    const double temporal = cd[8], spatial = cd[9], global_frac = cd[10];
+    const int64_t span_g = ci[0], span_p = ci[1], ws = ci[2];
+    const int64_t min_keep = ci[3], size_low = ci[4], size_nslots = ci[5];
+    const int64_t cold_pool = ci[6], hot_max = ci[7];  /* hot_max <= 15 */
+    int64_t reason = 0, freed_idx = -1, alloc_size = 0;
+
+    while (remaining >= 14) {
+        double roll = rnd(&st);
+        if (roll >= br_hi) {                           /* ALU op */
+            vr = alu(&st, fpc, vr);
+            remaining -= 1;
+        } else if (roll >= mem_hi) {                   /* branch */
+            rnd(&st);                                  /* mispredict roll */
+            vr = (vr + 1) % 6;
+            remaining -= 1;
+        } else if (roll >= ac_hi) {                    /* memory op */
+            double roll2 = rnd(&st);
+            rnd(&st);                                  /* load/store split */
+            int ptr = roll2 < ptr_f;
+            int fp = !ptr && roll2 >= word_f && roll2 < wordfp_f;
+            int64_t nbytes = roll2 < wordfp_f ? 8 : 4;
+            if (rnd(&st) < global_frac || n_order == 0) {  /* global target */
+                if (rnd(&st) < spatial)
+                    gc += nbytes;
+                else
+                    randbelow(&st, ptr ? span_p : span_g);
+            } else {                                   /* heap target */
+                int64_t slot;
+                if (hot_len > 0 && rnd(&st) < temporal) {
+                    if (ptr) {
+                        int64_t cnt = 0, tmp[16], i;
+                        for (i = 0; i < hot_len; i++)
+                            if (rich[hot[i]])
+                                tmp[cnt++] = hot[i];
+                        slot = cnt ? tmp[randbelow(&st, cnt)]
+                                   : hot[randbelow(&st, hot_len)];
+                    } else {
+                        slot = hot[randbelow(&st, hot_len)];
+                    }
+                } else {
+                    int64_t pool = n_order < cold_pool ? n_order : cold_pool;
+                    int64_t start = n_order - pool;
+                    if (ptr) {
+                        int64_t cnt = 0, j;
+                        for (j = start; j < n_order; j++)
+                            if (rich[order[j]])
+                                cnt++;
+                        if (cnt) {
+                            int64_t pick = randbelow(&st, cnt);
+                            for (j = start;; j++)
+                                if (rich[order[j]] && pick-- == 0)
+                                    break;
+                            slot = order[j];
+                        } else {
+                            slot = order[start + randbelow(&st, pool)];
+                        }
+                    } else {
+                        slot = order[start + randbelow(&st, pool)];
+                    }
+                    hot[hot_len++] = slot;
+                    if (hot_len > hot_max) {
+                        memmove(hot, hot + 1,
+                                (size_t)(hot_len - 1) * sizeof(int64_t));
+                        hot_len--;
+                    }
+                }
+                {
+                    int64_t size = sizes[slot];
+                    int64_t limit = size - nbytes;
+                    if (limit < 1)
+                        limit = 1;
+                    if (rnd(&st) < spatial) {
+                        int64_t m = size > nbytes ? size : nbytes;
+                        cursors[slot] = (cursors[slot] + nbytes) % m;
+                    } else {
+                        randbelow(&st, limit);
+                    }
+                }
+            }
+            randbelow(&st, 6);                         /* address register */
+            remaining -= rnd(&st) < 0.25 ? 2 : 1;      /* refresh ADD_RI */
+            if (fp)
+                randbelow(&st, 6);
+            else
+                vr = (vr + 1) % 6;
+        } else if (roll >= alloc_p) {                  /* call / return */
+            if (depth < 16) {
+                double r = rnd(&st);
+                if (r < 0.6) {
+                    depth++;
+                    remaining -= 1;
+                } else if (depth > 0) {
+                    depth--;
+                    remaining -= 1;
+                }
+            } else {
+                depth--;
+                remaining -= 1;
+            }
+        } else {                                       /* allocation event */
+            if (n_order >= ws && n_order > min_keep) {
+                freed_idx = randbelow(&st, n_order);
+                vr = runtime_call(&st, fpc, vr);
+                remaining -= 7;
+            }
+            alloc_size = size_low + 16 * randbelow(&st, size_nslots);
+            vr = runtime_call(&st, fpc, vr);
+            remaining -= 7;
+            reason = 1;  /* Python applies the malloc/free effects */
+            break;
+        }
+    }
+    scal[0] = remaining; scal[1] = vr; scal[2] = gc; scal[3] = depth;
+    scal[5] = hot_len; scal[6] = st.mti; scal[7] = reason;
+    scal[8] = freed_idx; scal[9] = alloc_size;
+    return reason;
+}
+
+/* Draw-compatibility probe: 8 doubles then 8 bounded draws, so the loader
+ * can verify this kernel against random.Random before trusting it. */
+long long ff_selftest(uint32_t *mtstate, long long *mti_io, double *dout,
+                      long long *iout)
+{
+    MT st = { mtstate, *mti_io };
+    static const int64_t ns[8] = {6, 1, 192, 8192, 13, 7, 4096, 2000000};
+    int i;
+    for (i = 0; i < 8; i++)
+        dout[i] = rnd(&st);
+    for (i = 0; i < 8; i++)
+        iout[i] = randbelow(&st, ns[i]);
+    *mti_io = st.mti;
+    return 0;
+}
+"""
+
+_COMPILERS = ("cc", "gcc", "clang")
+
+
+def _dir_is_trusted(path: Path) -> bool:
+    """Refuse to load/compile kernels from a directory another user controls.
+
+    The shared-tmp fallback has a predictable name; without this check a
+    local attacker could pre-create it and plant a ``.so`` that
+    ``ctypes.CDLL`` would execute before the self-test runs.
+    """
+    try:
+        stat = path.stat()
+    except OSError:
+        return False
+    uid = getattr(os, "getuid", lambda: 0)()
+    if hasattr(os, "getuid") and stat.st_uid != uid:
+        return False
+    # No group/other write permission.
+    return (stat.st_mode & 0o022) == 0
+
+
+def _cache_dir() -> Optional[Path]:
+    override = os.environ.get("REPRO_FFCORE_DIR")
+    if override:
+        path = Path(override)
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return None
+        return path if _dir_is_trusted(path) else None
+    for path in (Path.home() / ".cache" / "repro-watchdog",
+                 Path(tempfile.gettempdir()) /
+                 f"repro-watchdog-{getattr(os, 'getuid', lambda: 0)()}"):
+        try:
+            path.mkdir(parents=True, exist_ok=True, mode=0o700)
+        except OSError:
+            continue
+        if _dir_is_trusted(path):
+            return path
+    return None
+
+
+def _compile(so_path: Path) -> bool:
+    """Build the kernel into ``so_path``; False on any failure."""
+    try:
+        so_path.parent.mkdir(parents=True, exist_ok=True)
+        src = so_path.with_suffix(".c")
+        src.write_text(_SOURCE, encoding="utf-8")
+        tmp = so_path.with_name(f".{so_path.name}.{os.getpid()}.tmp")
+        for compiler in _COMPILERS:
+            try:
+                result = subprocess.run(
+                    [compiler, "-O2", "-fPIC", "-shared", "-o", str(tmp),
+                     str(src)],
+                    capture_output=True, timeout=120)
+            except (OSError, subprocess.SubprocessError):
+                continue
+            if result.returncode == 0 and tmp.exists():
+                os.replace(tmp, so_path)  # atomic: concurrent builds race safely
+                return True
+        return False
+    except OSError:
+        return False
+
+
+def _bind(so_path: Path):
+    lib = ctypes.CDLL(str(so_path))
+    lib.ff_advance.restype = ctypes.c_longlong
+    lib.ff_advance.argtypes = [ctypes.c_void_p] * 9
+    lib.ff_selftest.restype = ctypes.c_longlong
+    lib.ff_selftest.argtypes = [ctypes.c_void_p] * 4
+    return lib
+
+
+def _self_test(lib) -> bool:
+    """The kernel's RNG must reproduce random.Random draw for draw."""
+    rng = random.Random(987654321)
+    state = rng.getstate()
+    mt = array("I", state[1][:624])
+    mti = array("q", [state[1][624]])
+    dout = array("d", [0.0] * 8)
+    iout = array("q", [0] * 8)
+    lib.ff_selftest(mt.buffer_info()[0], mti.buffer_info()[0],
+                    dout.buffer_info()[0], iout.buffer_info()[0])
+    expected_d = [rng.random() for _ in range(8)]
+    expected_i = [rng._randbelow(n)
+                  for n in (6, 1, 192, 8192, 13, 7, 4096, 2000000)]
+    end_state = rng.getstate()
+    return (list(dout) == expected_d and list(iout) == expected_i
+            and tuple(mt) == end_state[1][:624] and mti[0] == end_state[1][624])
+
+
+#: ``None`` until :func:`load` runs; ``(lib,)`` or ``(None,)`` afterwards.
+_LOADED: Optional[tuple] = None
+
+
+def load():
+    """The compiled kernel, or ``None`` when unavailable (memoized)."""
+    global _LOADED
+    if _LOADED is not None:
+        return _LOADED[0]
+    lib = None
+    if os.environ.get("REPRO_FFCORE", "").strip() != "0":
+        try:
+            cache_dir = _cache_dir()
+            if cache_dir is not None:
+                digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+                so_path = cache_dir / f"ffcore-{digest}.so"
+                if so_path.exists() or _compile(so_path):
+                    candidate = _bind(so_path)
+                    if _self_test(candidate):
+                        lib = candidate
+        except Exception:
+            lib = None
+    _LOADED = (lib,)
+    return lib

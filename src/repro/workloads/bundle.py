@@ -14,7 +14,6 @@ configurations with bit-identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import islice
 from typing import Iterator, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
@@ -28,6 +27,15 @@ from repro.workloads.synthetic import SyntheticWorkload
 #: a bundle are defined by its trace content alone.
 _TOKEN_CACHE_ATTR = "_cc_tokens"
 _STREAM_CACHE_ATTR = "_cc_streams"
+
+
+#: Largest horizon a bundle may materialize *unsampled* — whether because no
+#: sampling schedule was requested at all, or because a requested §9.1
+#: schedule measures nothing and would normalize to the unsampled layout
+#: (the right behaviour at test scale, a silent catastrophe at paper scale:
+#: the whole 100M-instruction horizon materialized as DynamicOps).  Past
+#: this bound both cases are errors pointing at a horizon-fitted schedule.
+MAX_NORMALIZED_UNSAMPLED_INSTRUCTIONS = 4_000_000
 
 
 def default_warmup_instructions(instructions: int) -> int:
@@ -133,10 +141,25 @@ class TraceBundle:
                     "schedule: the schedule's warm-up windows apply")
             schedule = SamplingSchedule(sampling.validate())
             if sampling.degenerate or schedule.measured_count(instructions) == 0:
+                if instructions > MAX_NORMALIZED_UNSAMPLED_INSTRUCTIONS:
+                    raise ConfigurationError(
+                        f"sampling schedule measures "
+                        f"{'everything' if sampling.degenerate else 'nothing'} "
+                        f"over {instructions} instructions and would fall "
+                        f"back to materializing the whole horizon unsampled; "
+                        f"choose a schedule whose period fits the horizon "
+                        f"(e.g. SamplingConfig.paper_scaled())")
                 sampling = None
             else:
                 return cls._generate_sampled(profile, seed, instructions,
                                              sampling, schedule)
+        if instructions > MAX_NORMALIZED_UNSAMPLED_INSTRUCTIONS:
+            raise ConfigurationError(
+                f"an unsampled bundle would materialize all {instructions} "
+                f"instructions as dynamic ops; horizons past "
+                f"{MAX_NORMALIZED_UNSAMPLED_INSTRUCTIONS} require a §9.1 "
+                f"sampling schedule (e.g. --sampling paper-scaled / "
+                f"SamplingConfig.paper_scaled())")
         if warmup_instructions is None:
             warmup_instructions = default_warmup_instructions(instructions)
         workload = SyntheticWorkload(profile, seed=seed)
@@ -154,36 +177,33 @@ class TraceBundle:
                           schedule: SamplingSchedule) -> "TraceBundle":
         """Segment one continuous generation run into sampling periods.
 
-        One generator walks the whole ``instructions`` horizon so the dynamic
+        One workload walks the whole ``instructions`` horizon so the dynamic
         stream is identical to what an unsampled run of the same length would
         produce; the schedule only decides each window's fate: skip windows
-        are drained (fast-forward advances the workload functionally —
-        allocator state, working set and locality cursors move, nothing is
-        kept), warm-up windows are materialized for untimed cache priming,
-        and each measure window is materialized for timing with the working
-        set frozen at its warm-up/measure boundary.
+        advance the workload functionally through the state-evolution core
+        (:meth:`SyntheticWorkload.fast_forward` — allocator state, working
+        set and locality cursors move, nothing is materialized), warm-up
+        windows are emitted for untimed cache priming, and each measure
+        window is emitted for timing with the working set frozen at its
+        warm-up/measure boundary.  An event split by a window boundary stays
+        pending inside the workload, so the concatenation of all windows is
+        exactly the continuous stream.
         """
         workload = SyntheticWorkload(profile, seed=seed)
-        # One generator spans every window: a fresh generate() call per
-        # window would truncate the multi-op event in flight at each
-        # boundary and re-roll the next, silently diverging from the
-        # continuous stream the windows claim to be positions of.
-        stream = workload.generate(instructions)
         samples = []
         pending_warm: Tuple[DynamicOp, ...] = ()
         for start, end, phase in schedule.windows(instructions):
             length = end - start
             if phase == SamplingSchedule.SKIP:
-                for _ in islice(stream, length):
-                    pass
+                workload.fast_forward(length)
                 pending_warm = ()
             elif phase == SamplingSchedule.WARMUP:
-                pending_warm = tuple(islice(stream, length))
+                pending_warm = tuple(workload.emit(length))
             else:
                 snapshot = workload.snapshot_working_set()
                 samples.append(SampleSegment(
                     warmup=pending_warm,
-                    measured=tuple(islice(stream, length)),
+                    measured=tuple(workload.emit(length)),
                     working_set=snapshot))
                 pending_warm = ()
         return cls(benchmark=profile.name, seed=seed, instructions=instructions,

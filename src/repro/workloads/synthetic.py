@@ -1,4 +1,4 @@
-"""Synthetic SPEC-like workload generator.
+"""Synthetic SPEC-like workload generator: the trace-emission layer.
 
 Generates a dynamic macro-instruction trace whose mix matches a
 :class:`~repro.workloads.profiles.BenchmarkProfile`: memory intensity,
@@ -8,6 +8,19 @@ to obtain concrete heap addresses and lock locations, so the trace exercises
 the same allocator, shadow-address and lock-location code paths that a real
 program would — only the instruction selection is synthetic.
 
+The generator is split into two layers:
+
+* :class:`~repro.workloads.state_core.WorkloadCore` (the base class) evolves
+  the workload's *functional state* — RNG stream, allocator-backed object
+  set, locality cursors, hot set — and can do so in bulk without producing
+  any instructions (``advance_bulk``), which is what makes §9.1 fast-forward
+  windows at paper scale (100M+ instructions) tractable;
+* :class:`SyntheticWorkload` (this module) materializes the
+  :class:`~repro.sim.trace.DynamicOp` stream on top of that state, but only
+  where a trace is actually consumed: :meth:`generate`/:meth:`trace` for
+  conventional runs, :meth:`emit` for the warm-up/measure windows of a
+  sampled run, with :meth:`fast_forward` covering the skip windows.
+
 The produced :class:`~repro.sim.trace.DynamicOp` stream is what the trace
 expander and the out-of-order timing model consume for the Figure 5/7/8/9/10/11
 experiments.
@@ -15,40 +28,14 @@ experiments.
 
 from __future__ import annotations
 
-import random
-import zlib
-from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.allocator.runtime import AllocationRecord, InstrumentedRuntime
-from repro.core.identifier import IdentifierTable
+from repro.errors import ConfigurationError
 from repro.isa.instructions import AccessSize, Instruction, Opcode, PointerHint
 from repro.isa.registers import ArchReg, fp_reg, int_reg
-from repro.memory.address_space import AddressSpace
 from repro.sim.trace import DynamicOp
 from repro.workloads.profiles import BenchmarkProfile
-
-
-#: Interned Instruction instances, keyed by their full field tuple.  The
-#: generator emits the same few hundred static shapes millions of times;
-#: instructions are immutable by convention, and every consumer (expander,
-#: tokenizer, trace equality) compares them by value, so sharing instances
-#: only removes dataclass-construction cost from the generation hot path.
-_INSTRUCTION_CACHE: Dict[tuple, Instruction] = {}
-
-
-def _inst(opcode: Opcode, dest: Optional[ArchReg] = None,
-          srcs: Tuple[ArchReg, ...] = (), imm: int = 0,
-          size: AccessSize = AccessSize.WORD64,
-          pointer_hint: PointerHint = PointerHint.UNKNOWN) -> Instruction:
-    key = (opcode, dest, srcs, imm, size, pointer_hint)
-    inst = _INSTRUCTION_CACHE.get(key)
-    if inst is None:
-        inst = _INSTRUCTION_CACHE[key] = Instruction(
-            opcode, dest=dest, srcs=srcs, imm=imm, size=size,
-            pointer_hint=pointer_hint)
-    return inst
-
+from repro.workloads.state_core import WorkloadCore
 
 #: Registers used to hold addresses (pointers into live objects).
 ADDRESS_REGS = tuple(int_reg(i) for i in range(1, 7))
@@ -63,167 +50,63 @@ FP_REGS = tuple(fp_reg(i) for i in range(0, 6))
 #: dependent ALU ops preserves the front-end cost).
 RUNTIME_CALL_ALU_OPS = 6
 
+#: The two-register-source ALU opcodes drawn by :meth:`_alu_op` (identical
+#: draw to ``rng.choice``: one ``_randbelow(6)`` selecting from this tuple).
+_ALU_OPCODES = (Opcode.ADD_RI, Opcode.ADD_RI, Opcode.AND_RR,
+                Opcode.XOR_RR, Opcode.ADD_RR, Opcode.MUL_RR)
 
-@dataclass
-class _LiveObject:
-    """A live heap object the generator can direct accesses at."""
-
-    record: AllocationRecord
-    cursor: int = 0
-    #: Whether this object is part of a pointer-rich data structure (linked
-    #: structures, pointer arrays).  Pointer loads/stores are directed at
-    #: these objects; plain data accesses go anywhere.  Real programs keep
-    #: pointers in a subset of their objects, which is what bounds the shadow
-    #: footprint (Figure 10).
-    pointer_rich: bool = False
-
-    @property
-    def base(self) -> int:
-        return self.record.base
-
-    @property
-    def size(self) -> int:
-        return self.record.size
-
-    @property
-    def lock(self) -> int:
-        return self.record.metadata.identifier.lock
+#: Ceiling on interned Instruction shapes per workload.  The generator only
+#: ever produces a few hundred distinct shapes, so the bound exists purely as
+#: a safety valve: a paper-scale run in a pooled worker can never grow the
+#: cache without limit (the old module-level cache could, across profiles and
+#: worker lifetimes).  Consumers compare instructions by value, so dropping
+#: the cache is always safe.
+_INSTRUCTION_CACHE_LIMIT = 4096
 
 
-class SyntheticWorkload:
+class SyntheticWorkload(WorkloadCore):
     """Generates dynamic traces with a given benchmark's characteristics."""
 
-    #: Fraction of memory accesses directed at the global segment (always
-    #: valid global identifier, §7) rather than heap objects.
-    GLOBAL_ACCESS_FRACTION = 0.15
-    #: Span of the frequently-touched global data (bytes).
-    GLOBAL_SPAN_BYTES = 8 * 1024
-    #: Number of recently-touched heap objects forming the hot set.
-    HOT_SET_OBJECTS = 8
-    #: Upper bound on the pool of heap objects cold accesses may reach within
-    #: one phase; the pool slides over the full working set as objects churn,
-    #: mimicking program phase behaviour instead of uniformly random traffic.
-    COLD_POOL_OBJECTS = 192
-
     def __init__(self, profile: BenchmarkProfile, seed: int = 0):
-        self.profile = profile
-        self.seed = seed
-        # crc32 rather than hash(): str hashing is randomized per process, and
-        # the trace must be a pure function of (profile, seed) so that cached
-        # results and worker processes agree with a serial in-process run.
-        self.rng = random.Random((zlib.crc32(profile.name.encode()) & 0xFFFF) ^ seed)
-        self.memory = AddressSpace()
-        self.identifiers = IdentifierTable(self.memory)
-        self.runtime = InstrumentedRuntime(self.memory, identifiers=self.identifiers)
-        self._objects: List[_LiveObject] = []
-        self._hot: List[_LiveObject] = []
-        self._global_lock = self.identifiers.global_identifier().lock
-        self._global_cursor = 0
-        self._call_depth = 0
-        self._value_rotation = 0
-        self._allocation_counter = 0
-        self._populate_working_set()
+        #: Interned Instruction instances, keyed by their full field tuple.
+        #: The generator emits the same few hundred static shapes millions of
+        #: times; instructions are immutable by convention and every consumer
+        #: (expander, tokenizer, trace equality) compares them by value, so
+        #: sharing instances only removes dataclass-construction cost.  Keyed
+        #: per workload (bounded lifetime) rather than per process.
+        self._instruction_cache: Dict[tuple, Instruction] = {}
+        #: Ops of an event split by a sampled-window boundary, waiting for
+        #: the next window (`fast_forward` discards into it, `emit` drains
+        #: from it) — the continuous-stream equivalent of the suspended
+        #: generator the sampled segmentation used to hold open.
+        self._pending: List[DynamicOp] = []
+        super().__init__(profile, seed=seed)
 
-    # -- working set -------------------------------------------------------------
-    def _allocation_size(self) -> int:
-        typical = self.profile.typical_alloc_bytes
-        low = max(16, typical // 2)
-        high = typical * 2
-        return self.rng.randrange(low, high + 1, 16) or typical
-
-    def _populate_working_set(self) -> None:
-        for _ in range(self.profile.working_set_objects):
-            self._allocate_object()
-
-    def _allocate_object(self) -> _LiveObject:
-        pointer, metadata = self.runtime.malloc(self._allocation_size())
-        record = self.runtime.record_for(pointer)
-        assert record is not None
-        self._allocation_counter += 1
-        obj = _LiveObject(record=record,
-                          pointer_rich=(self._allocation_counter % 4 == 0))
-        self._objects.append(obj)
-        self._hot.append(obj)
-        if len(self._hot) > self.HOT_SET_OBJECTS:
-            self._hot.pop(0)
-        return obj
-
-    def _free_random_object(self) -> Optional[_LiveObject]:
-        if len(self._objects) <= max(4, self.profile.working_set_objects // 4):
-            return None
-        index = self.rng.randrange(len(self._objects))
-        obj = self._objects.pop(index)
-        if obj in self._hot:
-            self._hot.remove(obj)
-        self.runtime.free(obj.base, obj.record.metadata)
-        return obj
+    def _inst(self, opcode: Opcode, dest: Optional[ArchReg] = None,
+              srcs: Tuple[ArchReg, ...] = (), imm: int = 0,
+              size: AccessSize = AccessSize.WORD64,
+              pointer_hint: PointerHint = PointerHint.UNKNOWN) -> Instruction:
+        cache = self._instruction_cache
+        key = (opcode, dest, srcs, imm, size, pointer_hint)
+        inst = cache.get(key)
+        if inst is None:
+            if len(cache) >= _INSTRUCTION_CACHE_LIMIT:
+                cache.clear()
+            inst = cache[key] = Instruction(
+                opcode, dest=dest, srcs=srcs, imm=imm, size=size,
+                pointer_hint=pointer_hint)
+        return inst
 
     # -- register selection -----------------------------------------------------------
     def _address_reg(self) -> ArchReg:
-        return ADDRESS_REGS[self.rng.randrange(len(ADDRESS_REGS))]
+        return ADDRESS_REGS[self._randbelow(6)]
 
     def _value_reg(self) -> ArchReg:
         self._value_rotation = (self._value_rotation + 1) % len(VALUE_REGS)
         return VALUE_REGS[self._value_rotation]
 
     def _fp_reg(self) -> ArchReg:
-        return FP_REGS[self.rng.randrange(len(FP_REGS))]
-
-    # -- memory target selection --------------------------------------------------------
-    def _pick_object(self, pointer_access: bool = False) -> _LiveObject:
-        if self._hot and self.rng.random() < self.profile.temporal_locality:
-            candidates = self._hot
-            if pointer_access:
-                rich = [obj for obj in self._hot if obj.pointer_rich]
-                candidates = rich or self._hot
-            return candidates[self.rng.randrange(len(candidates))]
-        # Cold accesses stay within a bounded, slowly-drifting pool of recent
-        # objects (program phases) rather than the entire population.
-        pool = min(len(self._objects), self.COLD_POOL_OBJECTS)
-        start = len(self._objects) - pool
-        if pointer_access:
-            rich = [obj for obj in self._objects[start:] if obj.pointer_rich]
-            obj = rich[self.rng.randrange(len(rich))] if rich \
-                else self._objects[start + self.rng.randrange(pool)]
-        else:
-            obj = self._objects[start + self.rng.randrange(pool)]
-        self._hot.append(obj)
-        if len(self._hot) > self.HOT_SET_OBJECTS:
-            self._hot.pop(0)
-        return obj
-
-    def _heap_target(self, access_bytes: int, pointer_access: bool) -> Tuple[int, int]:
-        """Return (address, lock_address) for a heap access."""
-        obj = self._pick_object(pointer_access)
-        limit = max(obj.size - access_bytes, 1)
-        if self.rng.random() < self.profile.spatial_locality:
-            offset = obj.cursor % limit
-            obj.cursor = (obj.cursor + access_bytes) % max(obj.size, access_bytes)
-        else:
-            offset = self.rng.randrange(0, limit)
-        offset &= ~(access_bytes - 1)
-        return obj.base + offset, obj.lock
-
-    def _global_target(self, access_bytes: int, pointer_access: bool) -> Tuple[int, int]:
-        segment = self.memory.layout.globals_seg
-        span = min(segment.size, self.GLOBAL_SPAN_BYTES)
-        if pointer_access:
-            # Global pointers (tables of pointers, static linked structures)
-            # live in a compact region of the data segment.
-            span = min(span, 1024)
-        if self.rng.random() < self.profile.spatial_locality:
-            offset = self._global_cursor % span
-            self._global_cursor += access_bytes
-        else:
-            offset = self.rng.randrange(0, span)
-        offset &= ~(access_bytes - 1)
-        return segment.base + offset, self._global_lock
-
-    def _memory_target(self, access_bytes: int,
-                       pointer_access: bool = False) -> Tuple[int, int]:
-        if self.rng.random() < self.GLOBAL_ACCESS_FRACTION or not self._objects:
-            return self._global_target(access_bytes, pointer_access)
-        return self._heap_target(access_bytes, pointer_access)
+        return FP_REGS[self._randbelow(6)]
 
     # -- instruction emission --------------------------------------------------------------
     def _memory_op(self) -> Iterator[DynamicOp]:
@@ -247,8 +130,8 @@ class SyntheticWorkload:
         # Occasionally refresh the address register with pointer arithmetic so
         # memory operations have realistic address dependences.
         if self.rng.random() < 0.25:
-            yield DynamicOp(_inst(Opcode.ADD_RI, dest=address_reg,
-                                  srcs=(address_reg,), imm=8))
+            yield DynamicOp(self._inst(Opcode.ADD_RI, dest=address_reg,
+                                       srcs=(address_reg,), imm=8))
 
         if fp:
             opcode = Opcode.FLOAD if is_load else Opcode.FSTORE
@@ -258,17 +141,17 @@ class SyntheticWorkload:
             data_reg = self._value_reg()
 
         if is_load:
-            inst = _inst(opcode, dest=data_reg, srcs=(address_reg,),
-                         size=size, pointer_hint=hint)
+            inst = self._inst(opcode, dest=data_reg, srcs=(address_reg,),
+                              size=size, pointer_hint=hint)
         else:
-            inst = _inst(opcode, srcs=(address_reg, data_reg),
-                         size=size, pointer_hint=hint)
+            inst = self._inst(opcode, srcs=(address_reg, data_reg),
+                              size=size, pointer_hint=hint)
         yield DynamicOp(inst, address=address, lock_address=lock)
 
     def _alu_op(self) -> DynamicOp:
         if self.rng.random() < self.profile.fp_compute_fraction:
             dest, a, b = self._fp_reg(), self._fp_reg(), self._fp_reg()
-            return DynamicOp(_inst(Opcode.FADD, dest=dest, srcs=(a, b)))
+            return DynamicOp(self._inst(Opcode.FADD, dest=dest, srcs=(a, b)))
         previous_dest = VALUE_REGS[self._value_rotation]
         dest = self._value_reg()
         if self.rng.random() < 0.35:
@@ -280,15 +163,14 @@ class SyntheticWorkload:
         # Pointer-arithmetic-style single-source operations dominate; the
         # two-register-source forms (which cost a select µop under Watchdog,
         # §6.2) are a smaller slice, matching the "other" segment of Figure 8.
-        opcode = self.rng.choice((Opcode.ADD_RI, Opcode.ADD_RI, Opcode.AND_RR,
-                                  Opcode.XOR_RR, Opcode.ADD_RR, Opcode.MUL_RR))
+        opcode = _ALU_OPCODES[self._randbelow(6)]
         if opcode is Opcode.ADD_RI:
-            return DynamicOp(_inst(opcode, dest=dest, srcs=(a,), imm=1))
-        return DynamicOp(_inst(opcode, dest=dest, srcs=(a, b)))
+            return DynamicOp(self._inst(opcode, dest=dest, srcs=(a,), imm=1))
+        return DynamicOp(self._inst(opcode, dest=dest, srcs=(a, b)))
 
     def _branch_op(self) -> DynamicOp:
         mispredicted = self.rng.random() < self.profile.mispredict_rate
-        inst = _inst(Opcode.BRANCH, srcs=(self._value_reg(),))
+        inst = self._inst(Opcode.BRANCH, srcs=(self._value_reg(),))
         return DynamicOp(inst, mispredicted=mispredicted)
 
     def _runtime_call_ops(self, lock_address: int, is_alloc: bool) -> Iterator[DynamicOp]:
@@ -298,51 +180,67 @@ class SyntheticWorkload:
         pointer_reg = self._address_reg()
         identifier_reg = VALUE_REGS[0]
         if is_alloc:
-            inst = _inst(Opcode.SETIDENT, srcs=(pointer_reg, identifier_reg))
+            inst = self._inst(Opcode.SETIDENT, srcs=(pointer_reg, identifier_reg))
         else:
-            inst = _inst(Opcode.GETIDENT, dest=identifier_reg, srcs=(pointer_reg,))
+            inst = self._inst(Opcode.GETIDENT, dest=identifier_reg,
+                              srcs=(pointer_reg,))
         yield DynamicOp(inst, lock_address=lock_address)
 
     def _allocation_event(self) -> Iterator[DynamicOp]:
         # Keep the working set roughly constant: free one object for every
         # allocation once the target population is reached.
         freed = None
-        if len(self._objects) >= self.profile.working_set_objects:
+        if len(self._order) >= self.profile.working_set_objects:
             freed = self._free_random_object()
         if freed is not None:
-            yield from self._runtime_call_ops(freed.lock, is_alloc=False)
-        obj = self._allocate_object()
-        yield from self._runtime_call_ops(obj.lock, is_alloc=True)
+            yield from self._runtime_call_ops(self._slot_locks[freed],
+                                              is_alloc=False)
+        slot = self._allocate_object()
+        yield from self._runtime_call_ops(self._slot_locks[slot], is_alloc=True)
 
     def _call_event(self) -> Iterator[DynamicOp]:
         if self._call_depth < 16 and self.rng.random() < 0.6:
             self._call_depth += 1
-            yield DynamicOp(_inst(Opcode.CALL))
+            yield DynamicOp(self._inst(Opcode.CALL))
         elif self._call_depth > 0:
             self._call_depth -= 1
-            yield DynamicOp(_inst(Opcode.RET))
+            yield DynamicOp(self._inst(Opcode.RET))
+
+    def _event_ops(self) -> List[DynamicOp]:
+        """Materialize the next event of the continuous dynamic stream.
+
+        Events draw all their randomness up front (the list is built before
+        anything is consumed), so window boundaries can split an event's ops
+        without perturbing the draw sequence.
+        """
+        roll = self.rng.random()
+        if roll < self._alloc_probability:
+            return list(self._allocation_event())
+        if roll < self._ac_probability:
+            return list(self._call_event())
+        if roll < self._mem_hi:
+            return list(self._memory_op())
+        if roll < self._br_hi:
+            return [self._branch_op()]
+        return [self._alu_op()]
 
     # -- the generator ------------------------------------------------------------------------
     def generate(self, instructions: int) -> Iterator[DynamicOp]:
-        """Yield approximately ``instructions`` dynamic macro operations."""
-        profile = self.profile
+        """Yield approximately ``instructions`` dynamic macro operations.
+
+        This is the stand-alone streaming API: each call starts at the next
+        event boundary and a final event truncated by the limit has its tail
+        *discarded* (unchanged semantics — unsampled bundles depend on it).
+        The continuous-stream APIs (:meth:`emit`/:meth:`fast_forward`) keep
+        split events pending instead and cannot be mixed with this one.
+        """
+        if self._pending:
+            raise ConfigurationError(
+                "generate() cannot follow fast_forward()/emit() mid-event; "
+                "use emit() to continue the continuous stream")
         emitted = 0
-        alloc_probability = profile.allocs_per_kilo / 1000.0
-        call_probability = profile.calls_per_kilo / 1000.0
         while emitted < instructions:
-            roll = self.rng.random()
-            if roll < alloc_probability:
-                ops = list(self._allocation_event())
-            elif roll < alloc_probability + call_probability:
-                ops = list(self._call_event())
-            elif roll < alloc_probability + call_probability + profile.memory_fraction:
-                ops = list(self._memory_op())
-            elif roll < (alloc_probability + call_probability + profile.memory_fraction
-                         + profile.branch_fraction):
-                ops = [self._branch_op()]
-            else:
-                ops = [self._alu_op()]
-            for op in ops:
+            for op in self._event_ops():
                 yield op
                 emitted += 1
                 if emitted >= instructions:
@@ -352,47 +250,58 @@ class SyntheticWorkload:
         """Materialize a trace as a list (convenience for tests)."""
         return list(self.generate(instructions))
 
-    # -- working-set introspection (used by the simulator's warm-up) --------------------
-    def working_set_lines(self) -> Iterator[int]:
-        """64-byte-aligned addresses of every line in the current working set.
+    # -- the continuous-stream window APIs (§9.1 sampled segmentation) ---------------
+    def emit(self, count: int) -> List[DynamicOp]:
+        """Materialize the next ``count`` ops of the continuous stream.
 
-        Covers all live heap objects and the hot global span; the simulator
-        touches these (and their shadow lines) before the measured window so
-        that the measured window reflects steady state rather than the cold
-        start of a short synthetic trace.
+        Equivalent to ``islice`` over one never-restarted :meth:`generate`
+        run: an event split by the window boundary keeps its tail pending for
+        the next :meth:`emit`/:meth:`fast_forward` call.
         """
-        for obj in self._objects:
-            line = obj.base & ~63
-            while line < obj.base + obj.size:
-                yield line
-                line += 64
-        segment = self.memory.layout.globals_seg
-        span = min(segment.size, self.GLOBAL_SPAN_BYTES)
-        line = segment.base
-        while line < segment.base + span:
-            yield line
-            line += 64
+        out: List[DynamicOp] = []
+        pending = self._pending
+        if pending:
+            if len(pending) >= count:
+                out = pending[:count]
+                del pending[:count]
+                return out
+            out = pending[:]
+            del pending[:]
+        while len(out) < count:
+            ops = self._event_ops()
+            need = count - len(out)
+            if len(ops) <= need:
+                out.extend(ops)
+            else:
+                out.extend(ops[:need])
+                pending.extend(ops[need:])
+        return out
 
-    def lock_locations(self) -> Iterator[int]:
-        """Lock-location addresses of every live object plus the global lock."""
-        for obj in self._objects:
-            yield obj.lock
-        yield self._global_lock
+    def fast_forward(self, count: int) -> None:
+        """Advance the functional state across ``count`` ops of the stream.
 
-    def snapshot_working_set(self):
-        """Freeze the current working set for configuration-independent reuse.
-
-        The returned snapshot answers the same two queries the simulator's
-        warm-up asks of the live workload (`working_set_lines`,
-        `lock_locations`) but is immutable and picklable, so one generated
-        trace can be replayed under many Watchdog configurations — including
-        in worker processes — without re-running the generator.
+        The RNG position, allocator state, working set and locality cursors
+        end up bit-identical to ``emit(count)`` with the result thrown away —
+        that equivalence is what keeps sampled traces unchanged — but the
+        skip window's instructions are never materialized.  Whole events are
+        advanced by the state core in bulk; only an event straddling the
+        window boundary is materialized, into the pending buffer.
         """
-        from repro.workloads.bundle import WorkingSetSnapshot
-
-        return WorkingSetSnapshot(lines=tuple(self.working_set_lines()),
-                                  locks=tuple(self.lock_locations()))
-
-    @property
-    def live_objects(self) -> int:
-        return len(self._objects)
+        if count <= 0:
+            return
+        pending = self._pending
+        if pending:
+            if len(pending) >= count:
+                del pending[:count]
+                return
+            count -= len(pending)
+            del pending[:]
+        count = self.advance_bulk(count)
+        while count > 0:
+            ops = self._event_ops()
+            n = len(ops)
+            if n <= count:
+                count -= n
+            else:
+                pending.extend(ops[count:])
+                return
