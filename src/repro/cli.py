@@ -3,29 +3,30 @@
 Examples::
 
     python -m repro list
-    python -m repro run --figure fig7 --workers 4
-    python -m repro run --figure fig7 --figure fig9 --quick --no-cache
+    python -m repro run fig7 --workers 4
+    python -m repro run fig7 fig9 --quick --no-cache
+    python -m repro run --all --sampling quick --report report.json
     python -m repro run --all --workers 8 --cache-dir /tmp/repro-cache
 
-Sweep-based figures share one :class:`~repro.experiments.common.OverheadSweep`
-per invocation, so configurations appearing in several figures are simulated
-once; with caching enabled (default: ``.repro-cache/``) repeated invocations
-skip already-computed cells entirely.
+``run`` resolves every requested experiment through the declarative registry
+(:data:`repro.experiments.REGISTRY`): the experiments' grids are merged into
+one deduplicated super-spec and executed as a single sweep batch, so cells
+shared between figures are simulated once; with caching enabled (default:
+``.repro-cache/``) repeated invocations skip already-computed cells entirely.
+Each experiment's summary metrics are checked against the paper's expected
+values — deviations beyond tolerance fail the invocation (``--no-check``
+opts out) — and ``--report`` writes the full measured-vs-expected record,
+including cell provenance, as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from typing import List, Optional
 
-from repro.experiments import (
-    EXPERIMENTS,
-    STANDALONE_EXPERIMENTS,
-    SWEEP_EXPERIMENTS,
-    OverheadSweep,
-)
+from repro.experiments import REGISTRY, run_experiments
 from repro.sim.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.sim.engine import SweepEngine
 from repro.sim.sampling import SAMPLING_SCHEDULES
@@ -37,11 +38,6 @@ from repro.workloads.profiles import (
 )
 
 
-def _experiment_description(module) -> str:
-    doc = (module.__doc__ or "").strip().splitlines()
-    return doc[0].rstrip(".") if doc else ""
-
-
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -51,11 +47,21 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the available experiments")
 
     run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                     help="experiments to run (see `list`), e.g. "
+                          "`repro run fig7 fig9`")
     run.add_argument("--figure", "-f", dest="figures", action="append",
-                     metavar="NAME", choices=sorted(EXPERIMENTS),
-                     help="experiment to run (repeatable); see `list`")
+                     metavar="NAME", choices=sorted(REGISTRY),
+                     help="deprecated alias for the positional EXPERIMENT "
+                          "arguments (repeatable)")
     run.add_argument("--all", action="store_true",
-                     help="run every experiment")
+                     help="run every registered experiment as one merged sweep")
+    run.add_argument("--no-check", action="store_true",
+                     help="do not fail the run when measured metrics deviate "
+                          "from the paper's expected values beyond tolerance")
+    run.add_argument("--report", metavar="FILE", default=None,
+                     help="write the full measured-vs-expected record "
+                          "(checks, deviations, cell provenance) as JSON")
     run.add_argument("--workers", "-j", type=int, default=1, metavar="N",
                      help="worker processes for the sweep engine (default: 1)")
     run.add_argument("--instructions", "-n", type=int, default=None, metavar="N",
@@ -109,6 +115,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-paper", action="store_true",
                        help="skip the 100M-instruction paper-scale sampled "
                             "smoke cell")
+    bench.add_argument("--no-suite", action="store_true",
+                       help="skip the merged registry suite cell "
+                            "(`repro run --all` at quick scale)")
     bench.add_argument("--no-reference", action="store_true",
                        help="skip timing the reference object pipeline")
     bench.add_argument("--output", "-o", metavar="FILE", default=None,
@@ -124,22 +133,31 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
-    print("sweep experiments (benchmark × configuration grids):")
-    for name, module in SWEEP_EXPERIMENTS.items():
-        print(f"  {name:<10} {_experiment_description(module)}")
-    print("standalone experiments:")
-    for name, module in STANDALONE_EXPERIMENTS.items():
-        print(f"  {name:<10} {_experiment_description(module)}")
+    print("registered experiments (grid experiments share one merged sweep):")
+    for name, definition in REGISTRY.items():
+        kind = "grid" if definition.has_grid else "standalone"
+        tiers = "/".join(definition.sampling_tiers)
+        print(f"  {name:<10} [{kind}, sampling: {tiers}] "
+              f"{definition.description}")
     return 0
 
 
 def _cmd_run(args) -> int:
     from repro.errors import ConfigurationError
 
-    names: List[str] = list(EXPERIMENTS) if args.all else (args.figures or [])
+    # dict.fromkeys: drop repeats (e.g. the same name positionally and via
+    # the --figure alias) while preserving first-seen order.
+    names: List[str] = list(REGISTRY) if args.all \
+        else list(dict.fromkeys(list(args.experiments)
+                                + list(args.figures or [])))
     if not names:
-        print("nothing to run: pass --figure NAME (repeatable) or --all",
+        print("nothing to run: pass experiment names (see `list`) or --all",
               file=sys.stderr)
+        return 2
+    unknown_experiments = [name for name in names if name not in REGISTRY]
+    if unknown_experiments:
+        print(f"unknown experiment(s): {', '.join(unknown_experiments)}; "
+              f"known: {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
 
     try:
@@ -171,32 +189,44 @@ def _cmd_run(args) -> int:
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)
     engine = SweepEngine(workers=args.workers, cache=cache)
-    sweep = OverheadSweep(settings, engine=engine)
 
     try:
-        for name in names:
-            module = EXPERIMENTS[name]
-            started = time.perf_counter()
-            if name in SWEEP_EXPERIMENTS:
-                result = module.run(sweep=sweep)
-            else:
-                result = module.run()
-            elapsed = time.perf_counter() - started
-            print(f"=== {result.name} ({elapsed:.1f}s) ===")
-            print(result.format_table())
-            print()
+        suite = run_experiments(names, settings=settings, engine=engine)
     finally:
         # Join the worker pool before interpreter teardown; relying on the
         # stdlib atexit hook can race fd teardown and spew spurious OSErrors.
         engine.close()
 
-    if cache is not None:
-        print(f"[engine] simulated {engine.simulated_cells} cells, "
-              f"cache hits {cache.hits}, workers {engine.workers}, "
-              f"cache dir {cache.root}")
-    else:
-        print(f"[engine] simulated {engine.simulated_cells} cells, "
-              f"workers {engine.workers}, cache disabled")
+    for report in suite.reports:
+        definition = REGISTRY[report.name]
+        print(f"=== {report.result.name} ===")
+        print(definition.render_result(report.result))
+        for check in report.checks:
+            print(f"[check] {check.describe()}")
+        print()
+
+    stats = suite.engine
+    cache_text = (f"cache hits {stats['cache_hits']}, cache dir {cache.root}"
+                  if cache is not None else "cache disabled")
+    print(f"[engine] simulated {stats['simulated_cells']} cells "
+          f"({stats['merged_unique_cells']} unique of "
+          f"{stats['grid_cells_total']} grid cells) in "
+          f"{stats['simulation_batches']} batch(es), "
+          f"sweep {stats['sweep_seconds']:.1f}s, "
+          f"workers {stats['workers']}, {cache_text}")
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(suite.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[report] wrote {args.report}")
+
+    if not suite.ok:
+        failed = ", ".join(report.name for report in suite.failures())
+        print(f"[check] metrics deviate from the paper beyond tolerance in: "
+              f"{failed}", file=sys.stderr)
+        if not args.no_check:
+            return 1
     return 0
 
 
@@ -240,6 +270,7 @@ def _run_bench_record(bench, args, kwargs):
         include_sampled=not args.no_sampled,
         include_fast_forward=not args.no_fast_forward,
         include_paper=not args.no_paper,
+        include_suite=not args.no_suite,
         **kwargs)
 
 

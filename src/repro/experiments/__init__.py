@@ -1,9 +1,12 @@
 """Experiment drivers: one module per table/figure of the paper's evaluation.
 
-Each module exposes a ``run(...)`` function returning an
-:class:`~repro.sim.results.ExperimentResult` plus an ``EXPECTED`` mapping
-recording the paper's headline numbers, so EXPERIMENTS.md and the benchmark
-harness can print paper-vs-measured side by side.
+Each module declares itself as an
+:class:`~repro.experiments.common.ExperimentDefinition` — name, grid builder,
+metric extractor, the paper's expected values with tolerances, and a render
+hook — collected here into :data:`REGISTRY`.  One generic runner
+(:func:`~repro.experiments.common.run_experiments`) executes any subset: the
+grids are merged into a deduplicated super-spec, resolved in a single sweep
+batch, and every summary metric is checked against the paper.
 
 | Module | Reproduces |
 |---|---|
@@ -19,6 +22,8 @@ harness can print paper-vs-measured side by side.
 | ``ablations`` | extra ablations (copy elimination, ideal shadow) |
 """
 
+from typing import Dict
+
 from repro.experiments import (
     ablations,
     fig5_pointer_identification,
@@ -31,40 +36,53 @@ from repro.experiments import (
     table1_comparison,
     table2_config,
 )
-from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
+from repro.experiments.common import (
+    ExperimentDefinition,
+    ExperimentSettings,
+    ExperimentSpec,
+    OverheadSweep,
+    run_definition,
+    run_experiments,
+)
 
-#: Sweep-based experiments: modules exposing ``spec(settings)`` and
-#: ``run(settings=…, sweep=…, workers=…)``.  They share one
-#: :class:`OverheadSweep`, so configurations appearing in several figures are
-#: simulated (or cache-fetched) once per session.
-SWEEP_EXPERIMENTS = {
-    "fig5": fig5_pointer_identification,
-    "fig7": fig7_runtime_overhead,
-    "fig8": fig8_uop_overhead,
-    "fig9": fig9_lock_cache,
-    "fig10": fig10_memory_overhead,
-    "fig11": fig11_bounds_checking,
-    "ablations": ablations,
+#: Every registered experiment, in the order ``repro run --all`` executes
+#: them: the grid experiments first (they share one merged sweep batch),
+#: then the standalone tables and the Juliet suite.
+REGISTRY: Dict[str, ExperimentDefinition] = {
+    definition.name: definition
+    for definition in (
+        fig5_pointer_identification.DEFINITION,
+        fig7_runtime_overhead.DEFINITION,
+        fig8_uop_overhead.DEFINITION,
+        fig9_lock_cache.DEFINITION,
+        fig10_memory_overhead.DEFINITION,
+        fig11_bounds_checking.DEFINITION,
+        ablations.DEFINITION,
+        table1_comparison.DEFINITION,
+        table2_config.DEFINITION,
+        sec92_juliet.DEFINITION,
+    )
 }
 
-#: Experiments that do not run the (benchmark × configuration) grid: the
-#: derived tables and the Juliet detection suite.
-STANDALONE_EXPERIMENTS = {
-    "table1": table1_comparison,
-    "table2": table2_config,
-    "juliet": sec92_juliet,
-}
 
-#: Every runnable experiment by CLI name.
-EXPERIMENTS = {**SWEEP_EXPERIMENTS, **STANDALONE_EXPERIMENTS}
+def get_definition(name: str) -> ExperimentDefinition:
+    """Look up a registered experiment by CLI name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"known: {', '.join(REGISTRY)}") from None
+
 
 __all__ = [
+    "ExperimentDefinition",
     "ExperimentSettings",
     "ExperimentSpec",
     "OverheadSweep",
-    "SWEEP_EXPERIMENTS",
-    "STANDALONE_EXPERIMENTS",
-    "EXPERIMENTS",
+    "REGISTRY",
+    "get_definition",
+    "run_definition",
+    "run_experiments",
     "ablations",
     "fig5_pointer_identification",
     "fig7_runtime_overhead",

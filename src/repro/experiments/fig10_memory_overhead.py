@@ -13,7 +13,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentDefinition,
+    ExperimentSettings,
+    ExperimentSpec,
+    OverheadSweep,
+    run_definition,
+)
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import geometric_mean
 
@@ -35,19 +42,13 @@ def spec(settings: Optional[ExperimentSettings] = None) -> ExperimentSpec:
     }, settings=settings, include_baseline=False)
 
 
-def run(settings: Optional[ExperimentSettings] = None,
-        sweep: Optional[OverheadSweep] = None,
-        workers: Optional[int] = None) -> ExperimentResult:
-    """Measure shadow word and shadow page overheads (ISA-assisted)."""
-    sweep = sweep or OverheadSweep(settings, workers=workers)
-    grid = spec(sweep.settings)
-    cells = sweep.run_spec(grid)
-    result = ExperimentResult(name=grid.name)
-
+def extract(context: ExperimentContext) -> ExperimentResult:
+    """Shadow word and shadow page overheads (ISA-assisted)."""
+    result = ExperimentResult(name=context.spec.name)
     word_ratios = []
     page_ratios = []
-    for benchmark in sweep.benchmarks:
-        outcome = cells[benchmark, ISA_ASSISTED]
+    for benchmark in context.settings.benchmarks:
+        outcome = context.cells[benchmark, ISA_ASSISTED]
         word_overhead = outcome.word_overhead()
         page_overhead = outcome.page_overhead()
         word_ratios.append(1.0 + word_overhead)
@@ -59,3 +60,30 @@ def run(settings: Optional[ExperimentSettings] = None,
     result.add_summary("pages_geomean_percent", 100.0 * (geometric_mean(page_ratios) - 1.0))
     result.notes.append("paper geo-means: 32% (words), 56% (pages)")
     return result
+
+
+DEFINITION = ExperimentDefinition(
+    name="fig10",
+    title=NAME,
+    description="Figure 10 — shadow metadata memory overhead (words/pages)",
+    build_spec=spec,
+    extract=extract,
+    expected=EXPECTED,
+    # The synthetic workloads' shorter traces touch proportionally fewer
+    # data pages per shadow page, inflating the page-granularity overhead
+    # well past the paper's 56%; the wide tolerance absorbs that scale
+    # artifact while still catching a broken page accountant (0% or
+    # runaway overhead).
+    tolerances={
+        "words_geomean_percent": 25.0,
+        "pages_geomean_percent": 75.0,
+    },
+)
+
+
+def run(settings: Optional[ExperimentSettings] = None,
+        sweep: Optional[OverheadSweep] = None,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Measure shadow word and shadow page overheads (ISA-assisted)."""
+    return run_definition(DEFINITION, settings=settings, sweep=sweep,
+                          workers=workers)

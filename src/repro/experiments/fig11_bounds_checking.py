@@ -13,7 +13,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentDefinition,
+    ExperimentSettings,
+    ExperimentSpec,
+    OverheadSweep,
+    run_definition,
+)
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import geometric_mean_overhead
 
@@ -38,22 +45,16 @@ def spec(settings: Optional[ExperimentSettings] = None) -> ExperimentSpec:
     }, settings=settings)
 
 
-def run(settings: Optional[ExperimentSettings] = None,
-        sweep: Optional[OverheadSweep] = None,
-        workers: Optional[int] = None) -> ExperimentResult:
-    """Measure overhead of the three checking configurations."""
-    sweep = sweep or OverheadSweep(settings, workers=workers)
-    grid = spec(sweep.settings)
-    sweep.run_spec(grid)
-    result = ExperimentResult(name=grid.name)
-
+def extract(context: ExperimentContext) -> ExperimentResult:
+    """Overhead of the three checking configurations."""
+    result = ExperimentResult(name=context.spec.name)
     summary_keys = {
         WATCHDOG: "watchdog_geomean_percent",
         BOUNDS_FUSED: "bounds_fused_geomean_percent",
         BOUNDS_TWO_UOPS: "bounds_two_uop_geomean_percent",
     }
-    for label, config in grid.configs:
-        overheads = sweep.overheads(label, config)
+    for label, config in context.spec.configs:
+        overheads = context.sweep.overheads(label, config)
         for benchmark, overhead in overheads.items():
             result.add_value(label, benchmark, 100.0 * overhead)
         result.add_summary(summary_keys[label],
@@ -62,3 +63,26 @@ def run(settings: Optional[ExperimentSettings] = None,
     result.notes.append("paper geo-means: Watchdog 15%, +bounds (1 µop) 18%, "
                         "+bounds (2 µops) 24%")
     return result
+
+
+DEFINITION = ExperimentDefinition(
+    name="fig11",
+    title=NAME,
+    description="Figure 11 — integrating bounds checking (full memory safety)",
+    build_spec=spec,
+    extract=extract,
+    expected=EXPECTED,
+    tolerances={
+        "watchdog_geomean_percent": 8.0,
+        "bounds_fused_geomean_percent": 8.0,
+        "bounds_two_uop_geomean_percent": 10.0,
+    },
+)
+
+
+def run(settings: Optional[ExperimentSettings] = None,
+        sweep: Optional[OverheadSweep] = None,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Measure overhead of the three checking configurations."""
+    return run_definition(DEFINITION, settings=settings, sweep=sweep,
+                          workers=workers)

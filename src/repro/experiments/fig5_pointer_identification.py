@@ -10,7 +10,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentDefinition,
+    ExperimentSettings,
+    ExperimentSpec,
+    OverheadSweep,
+    run_definition,
+)
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import arithmetic_mean
 
@@ -33,20 +40,14 @@ def spec(settings: Optional[ExperimentSettings] = None) -> ExperimentSpec:
     }, settings=settings, include_baseline=False)
 
 
-def run(settings: Optional[ExperimentSettings] = None,
-        sweep: Optional[OverheadSweep] = None,
-        workers: Optional[int] = None) -> ExperimentResult:
-    """Classify every benchmark's memory accesses under both policies."""
-    sweep = sweep or OverheadSweep(settings, workers=workers)
-    grid = spec(sweep.settings)
-    cells = sweep.run_spec(grid)
-    result = ExperimentResult(name=grid.name)
-
-    for label, _ in grid.configs:
-        for benchmark in sweep.benchmarks:
-            result.add_value(label, benchmark,
-                             100.0 * cells[benchmark, label].pointer_fraction)
-
+def extract(context: ExperimentContext) -> ExperimentResult:
+    """Pointer-classification fractions per benchmark and policy."""
+    result = ExperimentResult(name=context.spec.name)
+    for label, _ in context.spec.configs:
+        for benchmark in context.settings.benchmarks:
+            result.add_value(
+                label, benchmark,
+                100.0 * context.cells[benchmark, label].pointer_fraction)
     conservative_avg = arithmetic_mean(list(result.series[CONSERVATIVE].values()))
     isa_avg = arithmetic_mean(list(result.series[ISA_ASSISTED].values()))
     result.add_summary("conservative_avg_percent", conservative_avg)
@@ -55,3 +56,26 @@ def run(settings: Optional[ExperimentSettings] = None,
         f"paper: conservative {EXPECTED['conservative_avg_percent']:.0f}%, "
         f"ISA-assisted {EXPECTED['isa_assisted_avg_percent']:.0f}% (averages)")
     return result
+
+
+DEFINITION = ExperimentDefinition(
+    name="fig5",
+    title=NAME,
+    description="Figure 5 — fraction of memory accesses classified as "
+                "pointer operations",
+    build_spec=spec,
+    extract=extract,
+    expected=EXPECTED,
+    tolerances={
+        "conservative_avg_percent": 10.0,
+        "isa_assisted_avg_percent": 8.0,
+    },
+)
+
+
+def run(settings: Optional[ExperimentSettings] = None,
+        sweep: Optional[OverheadSweep] = None,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Classify every benchmark's memory accesses under both policies."""
+    return run_definition(DEFINITION, settings=settings, sweep=sweep,
+                          workers=workers)

@@ -12,7 +12,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentDefinition,
+    ExperimentSettings,
+    ExperimentSpec,
+    OverheadSweep,
+    run_definition,
+)
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import geometric_mean_overhead
 
@@ -40,26 +47,57 @@ def spec(settings: Optional[ExperimentSettings] = None,
     return ExperimentSpec.build(NAME, configs, settings=settings)
 
 
+def extract(context: ExperimentContext) -> ExperimentResult:
+    """Per-benchmark slowdown and geo-mean for each identification policy."""
+    result = ExperimentResult(name=context.spec.name)
+    for label, config in context.spec.configs:
+        overheads = context.sweep.overheads(label, config)
+        for benchmark, overhead in overheads.items():
+            result.add_value(label, benchmark, 100.0 * overhead)
+        result.add_summary(f"{label}_geomean_percent",
+                           100.0 * geometric_mean_overhead(list(overheads.values())))
+    result.notes.append(
+        "paper geo-means: conservative 25%, ISA-assisted 15%, idealized shadow 11%")
+    return result
+
+
+DEFINITION = ExperimentDefinition(
+    name="fig7",
+    title=NAME,
+    description="Figure 7 — runtime overhead of use-after-free checking",
+    build_spec=spec,
+    extract=extract,
+    expected={
+        f"{CONSERVATIVE}_geomean_percent":
+            EXPECTED["conservative_geomean_percent"],
+        f"{ISA_ASSISTED}_geomean_percent":
+            EXPECTED["isa_assisted_geomean_percent"],
+        f"{IDEAL_SHADOW}_geomean_percent":
+            EXPECTED["ideal_shadow_geomean_percent"],
+    },
+    tolerances={
+        f"{CONSERVATIVE}_geomean_percent": 15.0,
+        f"{ISA_ASSISTED}_geomean_percent": 8.0,
+        # At reduced scale the idealized shadow removes nearly all of the
+        # cache-pressure component, so the measured value sits well below
+        # the paper's 11%.  The symmetric ±11 band therefore accepts the
+        # whole 0–22% range: it only catches runaway ideal-shadow overhead,
+        # not a silently disabled idealization (that regression is caught by
+        # the registry golden test's exact pins instead).
+        f"{IDEAL_SHADOW}_geomean_percent": 11.0,
+    },
+)
+
+
 def run(settings: Optional[ExperimentSettings] = None,
         sweep: Optional[OverheadSweep] = None,
         include_ideal_shadow: bool = True,
         workers: Optional[int] = None) -> ExperimentResult:
     """Measure per-benchmark slowdown for both identification policies."""
     sweep = sweep or OverheadSweep(settings, workers=workers)
-    grid = spec(sweep.settings, include_ideal_shadow=include_ideal_shadow)
-    sweep.run_spec(grid)
-
-    result = ExperimentResult(name=grid.name)
-    for label, config in grid.configs:
-        overheads = sweep.overheads(label, config)
-        for benchmark, overhead in overheads.items():
-            result.add_value(label, benchmark, 100.0 * overhead)
-        result.add_summary(f"{label}_geomean_percent",
-                           100.0 * geometric_mean_overhead(list(overheads.values())))
-
-    result.notes.append(
-        "paper geo-means: conservative 25%, ISA-assisted 15%, idealized shadow 11%")
-    return result
+    return run_definition(
+        DEFINITION, sweep=sweep,
+        spec=spec(sweep.settings, include_ideal_shadow=include_ideal_shadow))
 
 
 def main(argv=None) -> int:

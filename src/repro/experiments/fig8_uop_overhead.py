@@ -12,7 +12,14 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentDefinition,
+    ExperimentSettings,
+    ExperimentSpec,
+    OverheadSweep,
+    run_definition,
+)
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import arithmetic_mean
 
@@ -36,19 +43,13 @@ def spec(settings: Optional[ExperimentSettings] = None) -> ExperimentSpec:
     }, settings=settings, include_baseline=False)
 
 
-def run(settings: Optional[ExperimentSettings] = None,
-        sweep: Optional[OverheadSweep] = None,
-        workers: Optional[int] = None) -> ExperimentResult:
-    """Collect the per-benchmark µop overhead breakdown (ISA-assisted)."""
-    sweep = sweep or OverheadSweep(settings, workers=workers)
-    grid = spec(sweep.settings)
-    cells = sweep.run_spec(grid)
-    result = ExperimentResult(name=grid.name)
-
+def extract(context: ExperimentContext) -> ExperimentResult:
+    """Per-benchmark µop overhead breakdown (ISA-assisted)."""
+    result = ExperimentResult(name=context.spec.name)
     per_segment_totals: Dict[str, list] = {segment: [] for segment in SEGMENTS}
     totals = []
-    for benchmark in sweep.benchmarks:
-        outcome = cells[benchmark, ISA_ASSISTED]
+    for benchmark in context.settings.benchmarks:
+        outcome = context.cells[benchmark, ISA_ASSISTED]
         breakdown = outcome.uop_breakdown()
         total = outcome.uop_overhead_fraction()
         totals.append(total)
@@ -66,3 +67,28 @@ def run(settings: Optional[ExperimentSettings] = None,
         "paper averages: total 44%, checks 29%, pointer loads 4%, "
         "pointer stores 2%, other 9%")
     return result
+
+
+DEFINITION = ExperimentDefinition(
+    name="fig8",
+    title=NAME,
+    description="Figure 8 — µop overhead and its breakdown (ISA-assisted)",
+    build_spec=spec,
+    extract=extract,
+    expected=EXPECTED,
+    tolerances={
+        "total_avg_percent": 15.0,
+        "checks_avg_percent": 10.0,
+        "pointer_loads_avg_percent": 4.0,
+        "pointer_stores_avg_percent": 2.5,
+        "other_avg_percent": 6.0,
+    },
+)
+
+
+def run(settings: Optional[ExperimentSettings] = None,
+        sweep: Optional[OverheadSweep] = None,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Collect the per-benchmark µop overhead breakdown (ISA-assisted)."""
+    return run_definition(DEFINITION, settings=settings, sweep=sweep,
+                          workers=workers)

@@ -12,7 +12,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import WatchdogConfig
-from repro.experiments.common import ExperimentSettings, ExperimentSpec, OverheadSweep
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentDefinition,
+    ExperimentSettings,
+    ExperimentSpec,
+    OverheadSweep,
+    run_definition,
+)
 from repro.sim.results import ExperimentResult
 from repro.sim.stats import geometric_mean_overhead
 
@@ -34,17 +41,11 @@ def spec(settings: Optional[ExperimentSettings] = None) -> ExperimentSpec:
     }, settings=settings)
 
 
-def run(settings: Optional[ExperimentSettings] = None,
-        sweep: Optional[OverheadSweep] = None,
-        workers: Optional[int] = None) -> ExperimentResult:
-    """Measure overhead with and without the lock location cache."""
-    sweep = sweep or OverheadSweep(settings, workers=workers)
-    grid = spec(sweep.settings)
-    cells = sweep.run_spec(grid)
-    result = ExperimentResult(name=grid.name)
-
-    for label, config in grid.configs:
-        overheads = sweep.overheads(label, config)
+def extract(context: ExperimentContext) -> ExperimentResult:
+    """Overhead with and without the lock location cache, plus miss rates."""
+    result = ExperimentResult(name=context.spec.name)
+    for label, config in context.spec.configs:
+        overheads = context.sweep.overheads(label, config)
         for benchmark, overhead in overheads.items():
             result.add_value(label, benchmark, 100.0 * overhead)
         result.add_summary(f"{label}_geomean_percent",
@@ -52,8 +53,8 @@ def run(settings: Optional[ExperimentSettings] = None,
 
     # Lock cache miss rate (misses per kilo-instruction) per benchmark.
     low_mpki_benchmarks = 0
-    for benchmark in sweep.benchmarks:
-        outcome = cells[benchmark, WITH_CACHE]
+    for benchmark in context.settings.benchmarks:
+        outcome = context.cells[benchmark, WITH_CACHE]
         mpki = (1000.0 * outcome.lock_cache_misses
                 / max(outcome.total_uops, 1))
         result.add_value("lock_cache_mpki", benchmark, mpki)
@@ -64,3 +65,33 @@ def run(settings: Optional[ExperimentSettings] = None,
     result.notes.append("paper geo-means: with cache 15%, without cache 24%; "
                         "17/20 benchmarks below 1 lock-cache miss per 1000 instructions")
     return result
+
+
+DEFINITION = ExperimentDefinition(
+    name="fig9",
+    title=NAME,
+    description="Figure 9 — effect of the lock location cache",
+    build_spec=spec,
+    extract=extract,
+    # benchmarks_below_1_mpki is deliberately unchecked: it scales with the
+    # benchmark count, so a subset sweep would always "fail" the paper's
+    # 17-of-20 figure.
+    expected={
+        f"{WITH_CACHE}_geomean_percent":
+            EXPECTED["with_lock_cache_geomean_percent"],
+        f"{WITHOUT_CACHE}_geomean_percent":
+            EXPECTED["without_lock_cache_geomean_percent"],
+    },
+    tolerances={
+        f"{WITH_CACHE}_geomean_percent": 8.0,
+        f"{WITHOUT_CACHE}_geomean_percent": 12.0,
+    },
+)
+
+
+def run(settings: Optional[ExperimentSettings] = None,
+        sweep: Optional[OverheadSweep] = None,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Measure overhead with and without the lock location cache."""
+    return run_definition(DEFINITION, settings=settings, sweep=sweep,
+                          workers=workers)

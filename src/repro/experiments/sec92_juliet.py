@@ -13,6 +13,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.config import WatchdogConfig
+from repro.experiments.common import (
+    ExperimentDefinition,
+    NO_SAMPLING_TIERS,
+)
 from repro.sim.results import ExperimentResult
 from repro.sim.simulator import Simulator
 from repro.workloads.juliet import JulietCase, JulietSuite, JULIET_CASE_COUNT
@@ -76,3 +80,16 @@ def run(case_count: int = JULIET_CASE_COUNT,
     if outcome.false_positives:
         result.notes.append("false positives: " + ", ".join(outcome.false_positives[:10]))
     return result
+
+
+DEFINITION = ExperimentDefinition(
+    name="juliet",
+    title="sec9.2-juliet-use-after-free",
+    description="§9.2 — Juliet CWE-416/562 use-after-free detection efficacy",
+    # Standalone: the full 291-case suite runs through the functional
+    # machine regardless of sweep settings (it completes in well under a
+    # second, so no reduced tier is needed).
+    extract=lambda context: run(),
+    expected={"cases": 291.0, "detected": 291.0, "false_positives": 0.0},
+    sampling_tiers=NO_SAMPLING_TIERS,
+)

@@ -12,6 +12,10 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.baselines.comparison import ApproachSummary, ComparisonHarness
+from repro.experiments.common import (
+    ExperimentDefinition,
+    NO_SAMPLING_TIERS,
+)
 from repro.sim.results import ExperimentResult
 
 #: The paper's Table 1, encoded for paper-vs-measured comparison:
@@ -58,3 +62,16 @@ def run() -> ExperimentResult:
 def format_table() -> str:
     """Render the full Table 1-style text table."""
     return ComparisonHarness().format_table()
+
+
+DEFINITION = ExperimentDefinition(
+    name="table1",
+    title="table1-approach-comparison",
+    description="Table 1 — location-based vs identifier-based approach "
+                "comparison",
+    extract=lambda context: run(),
+    # The derived columns must agree with the published table exactly.
+    expected={"mismatches_vs_paper": 0.0},
+    render=lambda result: format_table(),
+    sampling_tiers=NO_SAMPLING_TIERS,
+)

@@ -6,6 +6,10 @@ uses and checks the headline parameters against the paper's table.
 
 from __future__ import annotations
 
+from repro.experiments.common import (
+    ExperimentDefinition,
+    NO_SAMPLING_TIERS,
+)
 from repro.pipeline.config import MachineConfig
 from repro.sim.results import ExperimentResult
 
@@ -53,3 +57,15 @@ def run(machine: MachineConfig = None) -> ExperimentResult:
 def format_table(machine: MachineConfig = None) -> str:
     """Render the Table 2-style configuration listing."""
     return (machine or MachineConfig()).describe()
+
+
+DEFINITION = ExperimentDefinition(
+    name="table2",
+    title="table2-processor-configuration",
+    description="Table 2 — simulated processor configuration",
+    extract=lambda context: run(),
+    # Every headline machine parameter must match the paper's table.
+    expected={"mismatches_vs_paper": 0.0},
+    render=lambda result: format_table(),
+    sampling_tiers=NO_SAMPLING_TIERS,
+)

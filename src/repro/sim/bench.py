@@ -222,6 +222,43 @@ def run_paper_cell(benchmark: str = PAPER_BENCHMARK,
                             machine=machine)
 
 
+def run_suite_cell(seed: int = DEFAULT_SEED, quick: bool = True) -> Dict[str, object]:
+    """Time the full registered experiment suite through the generic runner.
+
+    This is the registry fast path's regression gate: every grid experiment's
+    spec merged into one deduplicated batch (plus the standalone tables and
+    the Juliet suite), serial, cold, no persistent cache — exactly what
+    ``repro run --all`` costs before any caching helps.  Throughput is
+    *unique simulated cells* per wall second; a regression here means either
+    the merge stopped deduplicating (more cells simulated) or the per-cell
+    hot path slowed down.
+    """
+    from repro.experiments import REGISTRY, run_experiments
+    from repro.experiments.common import ExperimentSettings
+    from repro.sim.engine import SweepEngine
+
+    settings = ExperimentSettings.quick() if quick else ExperimentSettings()
+    if seed != settings.seed:
+        settings = dataclasses.replace(settings, seed=seed)
+    engine = SweepEngine()
+    t0 = time.perf_counter()
+    suite = run_experiments(list(REGISTRY), settings=settings, engine=engine)
+    wall = time.perf_counter() - t0
+    return {
+        "experiments": len(suite.reports),
+        "benchmarks": list(settings.benchmarks),
+        "instructions": settings.instructions,
+        "seed": settings.seed,
+        "grid_cells_total": suite.engine["grid_cells_total"],
+        "simulated_cells": engine.simulated_cells,
+        "simulation_batches": engine.simulation_batches,
+        "checks_ok": suite.ok,
+        "wall_seconds": round(wall, 4),
+        "suite_cells_per_sec": round(engine.simulated_cells / wall, 3)
+        if wall else 0.0,
+    }
+
+
 def run_bench(benchmarks: Optional[Sequence[str]] = None,
               instructions: Optional[int] = None,
               seed: int = DEFAULT_SEED,
@@ -230,7 +267,8 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
               sampling: Optional[SamplingConfig] = None,
               include_sampled: bool = True,
               include_fast_forward: bool = True,
-              include_paper: bool = True) -> Dict[str, object]:
+              include_paper: bool = True,
+              include_suite: bool = True) -> Dict[str, object]:
     """Run the benchmark (optionally under both pipelines) and summarize.
 
     ``instructions=None`` selects the scale implied by ``quick``; an
@@ -238,9 +276,11 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
     whole matrix; independently, ``include_sampled`` appends the sampled
     long-profile cell (:func:`run_sampled_cell`) that regression-gates the
     sampling fast path, ``include_fast_forward`` the skip-window-only cell
-    (:func:`run_fast_forward_cell`), and ``include_paper`` the 100M
+    (:func:`run_fast_forward_cell`), ``include_paper`` the 100M
     paper-scale smoke cell (:func:`run_paper_cell` — deliberately not scaled
-    down by ``quick``: completing the full paper horizon is the point).
+    down by ``quick``: completing the full paper horizon is the point), and
+    ``include_suite`` the merged registry suite cell
+    (:func:`run_suite_cell`, always at quick scale).
     """
     if quick:
         benchmarks = tuple(benchmarks or QUICK_BENCHMARKS)
@@ -284,6 +324,8 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
             seed=seed)
     if include_paper:
         record["paper_sampled"] = run_paper_cell(seed=seed)
+    if include_suite:
+        record["suite"] = run_suite_cell(seed=seed)
     return record
 
 
@@ -304,10 +346,10 @@ def check_against_baseline(record: Dict[str, object], baseline_path: str,
     ``uops_per_sec`` (typically measured on the slowest supported runner
     class); the check fails when throughput drops more than
     ``max_regression`` below it.  ``sampled_uops_per_sec``,
-    ``fast_forward_ops_per_sec`` and ``paper_sampled_uops_per_sec`` baseline
-    entries additionally gate the sampled long-profile cell, the
-    skip-window-only fast-forward cell and the 100M paper-scale cell the
-    same way.
+    ``fast_forward_ops_per_sec``, ``paper_sampled_uops_per_sec`` and
+    ``suite_cells_per_sec`` baseline entries additionally gate the sampled
+    long-profile cell, the skip-window-only fast-forward cell, the 100M
+    paper-scale cell and the merged registry suite cell the same way.
     """
     data = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
     checks = [("matrix", float(data["uops_per_sec"]),
@@ -320,6 +362,7 @@ def check_against_baseline(record: Dict[str, object], baseline_path: str,
          "fast_forward_ops_per_sec", "ops/sec"),
         ("paper_sampled", "paper_sampled_uops_per_sec", "uops_per_sec",
          "uops/sec"),
+        ("suite", "suite_cells_per_sec", "suite_cells_per_sec", "cells/sec"),
     )
     for name, baseline_key, record_key, unit in optional_gates:
         floor = data.get(baseline_key)
@@ -385,4 +428,13 @@ def format_summary(record: Dict[str, object]) -> str:
             f"{fast_forward['wall_seconds']:.2f}s — "
             f"{fast_forward['fast_forward_ops_per_sec']:,.0f} ops/sec "
             f"({'native kernel' if fast_forward['accelerated'] else 'pure python'})")
+    suite = record.get("suite")
+    if suite:
+        lines.append(
+            f"{'suite':>13}: {suite['experiments']} experiments, "
+            f"{suite['simulated_cells']} unique cells "
+            f"(of {suite['grid_cells_total']} grid cells) in "
+            f"{suite['simulation_batches']} batch(es), "
+            f"{suite['wall_seconds']:.2f}s — "
+            f"{suite['suite_cells_per_sec']:.2f} cells/sec")
     return "\n".join(lines)

@@ -30,14 +30,19 @@ import dataclasses
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.pipeline.config import MachineConfig
 from repro.sim.cache import ResultCache
 from repro.sim.results import CellResult
 from repro.sim.sampling import SamplingConfig
 from repro.sim.simulator import Simulator, aggregate_outcomes, resolve_pipeline
-from repro.sim.spec import ExperimentSpec, RunRequest
+from repro.sim.spec import (
+    ExperimentSpec,
+    MergedGrid,
+    RunRequest,
+    request_content_key,
+)
 from repro.workloads.bundle import TraceBundle
 
 CellKey = Tuple[str, str]
@@ -120,14 +125,42 @@ def execute_job(job: BenchmarkJob,
     across cells.
     """
     bundle = _bundle_for(job)
-    if sample_pool is not None and len(bundle.samples) > 1:
-        return _execute_sampled_job(job, bundle, machine, sample_pool)
+    if bundle.samples:
+        if sample_pool is not None and len(bundle.samples) > 1:
+            return _execute_sampled_job(job, bundle, machine, sample_pool)
+        return _execute_sampled_serial(job, bundle, machine)
     simulator = Simulator(machine, pipeline=job.pipeline)
     results: List[CellResult] = []
     for label, config in job.cells:
         outcome = simulator.run_bundle(bundle, config)
         results.append(CellResult.from_outcome(outcome, label=label))
     return results
+
+
+def _execute_sampled_serial(job: BenchmarkJob, bundle: TraceBundle,
+                            machine: Optional[MachineConfig]) -> List[CellResult]:
+    """Run a sampled job sample-major, releasing each sample's caches.
+
+    Iterating samples in the outer loop (instead of configs) keeps the
+    per-sample token/stream sharing across the job's configurations intact
+    while letting the bundle drop each sample's compiled streams and
+    working-set arrays as soon as every configuration has consumed it — so a
+    long multi-figure sampled run holds at most one sample's compiled
+    artifacts at a time instead of accumulating all of them.  Samples are
+    mutually independent and aggregation happens per configuration in sample
+    index order, so the results are bit-identical to the config-major order
+    (and to a pooled per-sample fan-out).
+    """
+    simulator = Simulator(machine, pipeline=job.pipeline)
+    per_config: List[List["SimulationOutcome"]] = [[] for _ in job.cells]
+    for index in range(len(bundle.samples)):
+        for slot, (_, config) in enumerate(job.cells):
+            per_config[slot].append(simulator.sample_outcome(bundle, index,
+                                                             config))
+        bundle.release_sample_caches(index)
+    return [CellResult.from_outcome(aggregate_outcomes(per_config[slot]),
+                                    label=label)
+            for slot, (label, _) in enumerate(job.cells)]
 
 
 def _sample_slice_job(payload) -> List[List["SimulationOutcome"]]:
@@ -186,12 +219,34 @@ class SweepEngine:
         #: Cells actually simulated by this engine (excludes memo/cache hits);
         #: the cache tests and the CLI's summary line read this.
         self.simulated_cells = 0
+        #: Batches that reached the simulation stage (i.e. had at least one
+        #: cell neither the memo nor the cache could serve).  A merged
+        #: multi-experiment run must report exactly one such batch — the
+        #: registry tests assert on this.
+        self.simulation_batches = 0
         self._executor: Optional[ProcessPoolExecutor] = None
 
     # -- resolution ----------------------------------------------------------------
     def run_spec(self, spec: ExperimentSpec) -> Dict[CellKey, CellResult]:
         """Execute one declarative grid; returns every cell keyed by (benchmark, label)."""
         return self.run_requests(spec.requests())
+
+    def run_specs(self, specs: "Sequence[ExperimentSpec] | MergedGrid") \
+            -> Dict[str, Dict[CellKey, CellResult]]:
+        """Execute several grids as one merged, deduplicated batch.
+
+        The specs' cells are fused into a :class:`~repro.sim.spec.MergedGrid`
+        super-spec (a pre-built one is accepted as-is), resolved in a single
+        :meth:`run_requests` batch (each distinct (benchmark, configuration)
+        cell simulated exactly once, the worker pool saturated across figure
+        boundaries), then split back into per-spec grids keyed by spec name —
+        each cell-for-cell identical to what a standalone :meth:`run_spec`
+        would have produced.
+        """
+        merged = specs if isinstance(specs, MergedGrid) \
+            else MergedGrid.merge(specs)
+        resolved = self.run_requests(merged.requests())
+        return merged.split(resolved)
 
     def run_requests(self, requests: Iterable[RunRequest]) -> Dict[CellKey, CellResult]:
         """Resolve a batch of cells via memo, cache, then (parallel) simulation.
@@ -220,6 +275,7 @@ class SweepEngine:
             pending.append(request)
 
         if pending:
+            self.simulation_batches += 1
             for job, results in zip(*self._execute(self._group(pending,
                                                                pipeline))):
                 # Results arrive in the job's cell order, so pairing them
@@ -243,10 +299,13 @@ class SweepEngine:
 
     @staticmethod
     def _identity(request: RunRequest, pipeline: str) -> Tuple:
-        """The cell's content identity: the request minus its cosmetic label."""
-        return (request.benchmark, request.config, request.instructions,
-                request.seed, request.warmup_instructions, request.sampling,
-                pipeline)
+        """The cell's content identity: the request minus its cosmetic label.
+
+        Derived from the same :func:`request_content_key` the multi-spec
+        merge dedups by, plus the resolved pipeline — so the merge and the
+        memo can never disagree about which cells are the same simulation.
+        """
+        return request_content_key(request) + (pipeline,)
 
     def cell(self, request: RunRequest) -> CellResult:
         """Resolve a single cell (memoized)."""

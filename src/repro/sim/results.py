@@ -1,6 +1,6 @@
 """Result records shared by the experiment drivers and the benchmark harness.
 
-Three records cover the pipeline end to end:
+Five records cover the pipeline end to end:
 
 * :class:`CellResult` — the flat, JSON-serializable summary of one simulated
   (benchmark, configuration) cell.  It carries every statistic the figure
@@ -8,9 +8,14 @@ Three records cover the pipeline end to end:
   footprint), so a cached cell is indistinguishable from a fresh simulation,
 * :class:`BenchmarkResult` — one timing outcome in benchmark-harness form,
 * :class:`ExperimentResult` — a whole figure/table: per-benchmark series
-  plus headline summary numbers.
+  plus headline summary numbers,
+* :class:`MetricCheck` / :class:`ExperimentReport` / :class:`SuiteReport` —
+  the registry runner's paper-vs-measured verdicts: each summary metric
+  compared against the paper's expected value within a tolerance, per
+  experiment and for a whole ``repro run`` invocation (with engine/cell
+  provenance), which is what the CLI serializes as its JSON artifact.
 
-All three round-trip through plain dicts (``to_dict``/``from_dict``) so the
+All of them round-trip through plain dicts (``to_dict``/``from_dict``) so the
 persistent result cache and any external tooling can store them as JSON.
 """
 
@@ -242,4 +247,137 @@ class ExperimentResult:
                     for series, values in data.get("series", {}).items()},
             summary=dict(data.get("summary", {})),
             notes=list(data.get("notes", [])),
+        )
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One summary metric compared against the paper's expected value.
+
+    ``measured=None`` marks a metric the experiment failed to produce at all
+    (a summary key the extractor no longer emits) — always a failed check,
+    since silently dropping a metric is exactly the drift the checks exist
+    to catch.
+    """
+
+    metric: str
+    expected: float
+    tolerance: float
+    measured: Optional[float] = None
+
+    @property
+    def deviation(self) -> Optional[float]:
+        """Signed distance from the paper's value (``None`` if unmeasured)."""
+        if self.measured is None:
+            return None
+        return self.measured - self.expected
+
+    @property
+    def ok(self) -> bool:
+        return self.measured is not None and \
+            abs(self.measured - self.expected) <= self.tolerance
+
+    def describe(self) -> str:
+        if self.measured is None:
+            return (f"{self.metric}: MISSING (expected "
+                    f"{self.expected:g} ±{self.tolerance:g})")
+        return (f"{self.metric}: measured {self.measured:.2f} vs expected "
+                f"{self.expected:g} ±{self.tolerance:g} "
+                f"(deviation {self.deviation:+.2f}): "
+                f"{'OK' if self.ok else 'DEVIATION'}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "expected": self.expected,
+            "tolerance": self.tolerance,
+            "measured": self.measured,
+            "deviation": self.deviation,
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricCheck":
+        return cls(metric=data["metric"], expected=data["expected"],
+                   tolerance=data["tolerance"], measured=data.get("measured"))
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment's registry-runner outcome: result, checks, provenance."""
+
+    name: str
+    result: ExperimentResult
+    checks: List[MetricCheck] = field(default_factory=list)
+    #: Metric-extraction time only; the (shared) merged sweep's wall time is
+    #: reported suite-wide as ``SuiteReport.engine["sweep_seconds"]``.
+    elapsed_seconds: float = 0.0
+    #: Where this experiment's cells came from: ``grid_cells`` is the size of
+    #: its declared grid (0 for standalone experiments), ``unique_cells`` the
+    #: number of distinct simulations backing it after label dedup.
+    provenance: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "provenance": dict(self.provenance),
+            "checks": [check.to_dict() for check in self.checks],
+            "result": self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentReport":
+        return cls(
+            name=data["name"],
+            result=ExperimentResult.from_dict(data["result"]),
+            checks=[MetricCheck.from_dict(check)
+                    for check in data.get("checks", [])],
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            provenance=dict(data.get("provenance", {})),
+        )
+
+
+@dataclass
+class SuiteReport:
+    """A whole ``repro run`` invocation: per-experiment reports + engine stats.
+
+    ``engine`` records the merged run's cell provenance — how many grid cells
+    the requested experiments declared, how many unique simulations they
+    collapsed to, how many actually simulated versus came from the persistent
+    cache, and in how many engine batches — so the JSON artifact documents
+    not just *what* was measured but *how* it was computed.
+    """
+
+    reports: List[ExperimentReport] = field(default_factory=list)
+    settings: Dict[str, Any] = field(default_factory=dict)
+    engine: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    def failures(self) -> List[ExperimentReport]:
+        return [report for report in self.reports if not report.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "settings": dict(self.settings),
+            "engine": dict(self.engine),
+            "experiments": [report.to_dict() for report in self.reports],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SuiteReport":
+        return cls(
+            reports=[ExperimentReport.from_dict(report)
+                     for report in data.get("experiments", [])],
+            settings=dict(data.get("settings", {})),
+            engine=dict(data.get("engine", {})),
         )

@@ -139,9 +139,15 @@ class Simulator:
     """
 
     def __init__(self, machine: Optional[MachineConfig] = None,
-                 pipeline: Optional[str] = None):
+                 pipeline: Optional[str] = None,
+                 release_sample_caches: bool = False):
         self.machine = machine or MachineConfig()
         self.pipeline = resolve_pipeline(pipeline)
+        #: When set, sampled replays drop each sample's compiled-stream and
+        #: working-set-array caches as soon as its outcome is aggregated
+        #: (see :meth:`sample_outcomes`), trading recompilation on a later
+        #: replay for a flat memory profile over long horizons.
+        self.release_sample_caches = bool(release_sample_caches)
 
     # -- workload timing runs ---------------------------------------------------------
     def run_trace(self, trace: Iterable[DynamicOp], config: WatchdogConfig,
@@ -384,39 +390,52 @@ class Simulator:
         """Replay every sample of a sampled bundle and fold the results."""
         return aggregate_outcomes(self.sample_outcomes(bundle, config))
 
-    def sample_outcomes(self, bundle: TraceBundle,
-                        config: WatchdogConfig) -> List[SimulationOutcome]:
-        """Per-sample outcomes of a sampled bundle, in sample order.
+    def sample_outcome(self, bundle: TraceBundle, index: int,
+                       config: WatchdogConfig) -> SimulationOutcome:
+        """Replay one sample of a sampled bundle under one configuration.
 
         Each sample is an ordinary (warm-up, working set, measured) replay at
         window scale, so both pipelines reuse their unsampled machinery
         unchanged — which is what keeps compiled and reference bit-identical
-        under sampling.  Samples are mutually independent, which is what lets
-        the sweep engine fan them out across its worker pool and aggregate in
-        index order with bit-identical results (see
-        :func:`repro.sim.engine.execute_job`).
+        under sampling.
+        """
+        if self.pipeline == PIPELINE_COMPILED:
+            from repro.sim.compiled import CompiledTraceUnsupported
+
+            try:
+                streams = bundle.compiled_sample_streams(
+                    index, config, machine=self.machine)
+            except CompiledTraceUnsupported:
+                pass
+            else:
+                return self._run_compiled(
+                    streams.measured, streams.warm, streams.working_set,
+                    config, bundle.benchmark)
+        # Straight to the reference model: compilation of this exact
+        # sample just failed (or the reference pipeline is selected), so
+        # run_trace's re-tokenize-and-retry would be wasted work.
+        sample = bundle.samples[index]
+        return self._run_trace_reference(
+            iter(sample.measured), config, bundle.benchmark,
+            sample.warmup or None, sample.working_set)
+
+    def sample_outcomes(self, bundle: TraceBundle,
+                        config: WatchdogConfig) -> List[SimulationOutcome]:
+        """Per-sample outcomes of a sampled bundle, in sample order.
+
+        Samples are mutually independent, which is what lets the sweep engine
+        fan them out across its worker pool and aggregate in index order with
+        bit-identical results (see :func:`repro.sim.engine.execute_job`).
+        With :attr:`release_sample_caches` set, each sample's compiled
+        streams and working-set arrays are dropped right after its outcome is
+        recorded, so a paper-scale replay pins at most one sample's compiled
+        footprint instead of accumulating every sample's.
         """
         outcomes: List[SimulationOutcome] = []
-        for index, sample in enumerate(bundle.samples):
-            if self.pipeline == PIPELINE_COMPILED:
-                from repro.sim.compiled import CompiledTraceUnsupported
-
-                try:
-                    streams = bundle.compiled_sample_streams(
-                        index, config, machine=self.machine)
-                except CompiledTraceUnsupported:
-                    pass
-                else:
-                    outcomes.append(self._run_compiled(
-                        streams.measured, streams.warm, streams.working_set,
-                        config, bundle.benchmark))
-                    continue
-            # Straight to the reference model: compilation of this exact
-            # sample just failed (or the reference pipeline is selected), so
-            # run_trace's re-tokenize-and-retry would be wasted work.
-            outcomes.append(self._run_trace_reference(
-                iter(sample.measured), config, bundle.benchmark,
-                sample.warmup or None, sample.working_set))
+        for index in range(len(bundle.samples)):
+            outcomes.append(self.sample_outcome(bundle, index, config))
+            if self.release_sample_caches:
+                bundle.release_sample_caches(index)
         return outcomes
 
     # -- program detection runs --------------------------------------------------------

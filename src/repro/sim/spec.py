@@ -226,3 +226,108 @@ class ExperimentSpec:
     def __len__(self) -> int:
         return len(self.settings.benchmarks) * \
             (len(self.configs) + (1 if self.include_baseline else 0))
+
+
+def request_content_key(request: RunRequest) -> Tuple:
+    """A cell's workload+configuration identity, ignoring the cosmetic label.
+
+    Two requests with equal content keys describe the same simulation even if
+    different figures name them differently (fig7's "isa-assisted" is fig9's
+    "with-lock-cache" is fig11's "watchdog").  This is the dedup key the
+    multi-experiment merge uses; the engine's memo key is the same content
+    plus the resolved pipeline.
+    """
+    return (request.benchmark, request.config, request.instructions,
+            request.seed, request.warmup_instructions, request.sampling)
+
+
+@dataclass(frozen=True)
+class MergedGrid:
+    """Several experiment grids fused into one deduplicated super-spec.
+
+    The figure experiments overlap heavily — fig7/8/10/11 all want the
+    ISA-assisted run, every slowdown figure wants the baseline — so a
+    ``repro run --all`` that executed each spec separately would enumerate
+    many cells several times and drain the worker pool at every figure
+    boundary.  The merged grid enumerates each *distinct* cell exactly once
+    (first-seen order, first-seen label), so one engine batch computes the
+    union and :meth:`split` hands every spec its own fully-labelled grid
+    back, cell-for-cell identical to a standalone run.
+    """
+
+    specs: Tuple[ExperimentSpec, ...]
+
+    @classmethod
+    def merge(cls, specs: Sequence[ExperimentSpec]) -> "MergedGrid":
+        return cls(specs=tuple(specs))
+
+    def requests(self) -> Tuple[RunRequest, ...]:
+        """The union of all specs' cells, deduplicated by content identity.
+
+        Computed once per instance (``requests``/``split``/``__len__`` all
+        share it) and cached outside the dataclass fields, so equality and
+        hashing stay defined by the specs alone.
+
+        Raises :class:`~repro.errors.ConfigurationError` when two specs bind
+        the same (benchmark, label) to *different* configurations: the
+        merged resolution is keyed by grid coordinates, so such a collision
+        would silently serve one spec the other's cells.  (The same label
+        for the same configuration — fig7's "isa-assisted" appearing in
+        several figures — merges fine.)
+        """
+        cached = self.__dict__.get("_requests")
+        if cached is not None:
+            return cached
+        merged: List[RunRequest] = []
+        seen: set = set()
+        grid_keys: set = set()
+        for spec in self.specs:
+            for request in spec.requests():
+                key = request_content_key(request)
+                if key in seen:
+                    continue
+                if request.key in grid_keys:
+                    # Deduplication already removed same-content duplicates,
+                    # so a repeated grid key here means the same label names
+                    # two different simulations across the merged specs.
+                    raise ConfigurationError(
+                        f"cannot merge specs: label {request.label!r} on "
+                        f"benchmark {request.benchmark!r} is bound to "
+                        f"different configurations by different specs; "
+                        f"rename one label or run the experiments separately")
+                seen.add(key)
+                grid_keys.add(request.key)
+                merged.append(request)
+        result = tuple(merged)
+        object.__setattr__(self, "_requests", result)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.requests())
+
+    def total_grid_cells(self) -> int:
+        """Cell count *before* dedup (what per-experiment runs would cost)."""
+        return sum(len(spec) for spec in self.specs)
+
+    def split(self, cells: Mapping) -> "dict":
+        """Distribute a merged run's cells back to each spec's grid.
+
+        ``cells`` is the resolution of :meth:`requests` keyed by those
+        requests' (benchmark, label) grid coordinates — exactly what
+        :meth:`repro.sim.engine.SweepEngine.run_requests` returns.  Each
+        spec's grid comes back keyed and labelled as if it had been run
+        standalone.
+        """
+        by_content = {}
+        for request in self.requests():
+            by_content[request_content_key(request)] = cells[request.key]
+        grids: dict = {}
+        for spec in self.specs:
+            grid = {}
+            for request in spec.requests():
+                cell = by_content[request_content_key(request)]
+                if cell.configuration != request.label:
+                    cell = cell.relabel(request.benchmark, request.label)
+                grid[request.key] = cell
+            grids[spec.name] = grid
+        return grids

@@ -293,6 +293,28 @@ class TraceBundle:
         streams[key] = built
         return built
 
+    def release_sample_caches(self, index: int) -> None:
+        """Drop the compiled artifacts pinned for one sample.
+
+        Removes the sample's interned token streams and every
+        configuration-class compiled stream (packed µop arrays, warm access
+        sequences and working-set snapshot arrays) built for it, so a
+        long-horizon sampled replay that is done with a sample stops pinning
+        its — by far dominant — compiled footprint.  The raw
+        :class:`SampleSegment` traces stay: they are what makes the bundle
+        replayable under further configurations, and re-deriving the compiled
+        artifacts from them is exactly the lazy path :meth:`_compiled` already
+        implements, so a released sample can still be replayed (it just
+        recompiles).
+        """
+        tokens = self.__dict__.get(_TOKEN_CACHE_ATTR)
+        if tokens:
+            tokens.pop(index, None)
+        streams = self.__dict__.get(_STREAM_CACHE_ATTR)
+        if streams:
+            for key in [key for key in streams if key[2] == index]:
+                del streams[key]
+
     def footprint_ops(self) -> int:
         """The bundle's pinned memory, in dynamic-op equivalents.
 
