@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -80,6 +81,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           "fits the 100M *-paper horizons), 'quick' "
                           "(80k/10k/10k, 10%% measured), or 'none' "
                           "(default; measure everything)")
+    run.add_argument("--no-timecore", action="store_true",
+                     help="disable the native timing core (C kernel) and "
+                          "run the pure-Python timing loops")
     run.add_argument("--no-cache", action="store_true",
                      help="disable the persistent result cache")
     run.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
@@ -118,6 +122,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-suite", action="store_true",
                        help="skip the merged registry suite cell "
                             "(`repro run --all` at quick scale)")
+    bench.add_argument("--no-timecore", action="store_true",
+                       help="disable the native timing core (C kernel) "
+                            "everywhere and skip its gated matrix cell")
     bench.add_argument("--no-reference", action="store_true",
                        help="skip timing the reference object pipeline")
     bench.add_argument("--output", "-o", metavar="FILE", default=None,
@@ -185,6 +192,10 @@ def _cmd_run(args) -> int:
                   f"execute unsampled (raise --instructions past "
                   f"{settings.sampling.fast_forward + settings.sampling.warmup} "
                   f"to sample)", file=sys.stderr)
+    if args.no_timecore:
+        # Via the environment rather than a Simulator argument so sweep
+        # worker processes inherit the switch.
+        os.environ["REPRO_TIMECORE"] = "0"
     cache: Optional[ResultCache] = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)
@@ -262,6 +273,8 @@ def _cmd_bench(args) -> int:
 
 
 def _run_bench_record(bench, args, kwargs):
+    if args.no_timecore:
+        os.environ["REPRO_TIMECORE"] = "0"
     return bench.run_bench(
         benchmarks=tuple(args.benchmarks.split(",")) if args.benchmarks else None,
         include_reference=not args.no_reference,
@@ -271,6 +284,7 @@ def _run_bench_record(bench, args, kwargs):
         include_fast_forward=not args.no_fast_forward,
         include_paper=not args.no_paper,
         include_suite=not args.no_suite,
+        include_timecore=not args.no_timecore,
         **kwargs)
 
 

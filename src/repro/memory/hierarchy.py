@@ -24,7 +24,7 @@ from __future__ import annotations
 import enum
 import itertools
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.memory.cache import Cache, CacheConfig
@@ -81,26 +81,75 @@ class HierarchyConfig:
     ideal_shadow: bool = False
 
 
-@dataclass
-class HierarchyStats:
-    """Aggregated access counts by class."""
+#: Access-class names in counter-slot order.  :class:`HierarchyStats` keeps
+#: one integer counter pair per class; the dict views callers consume are
+#: materialized on read.
+_STAT_KINDS = ("data", "lock", "lock-on-data", "shadow", "shadow-ideal")
+_STAT_INDEX = {name: i for i, name in enumerate(_STAT_KINDS)}
 
-    accesses: Dict[str, int] = field(default_factory=dict)
-    total_latency: Dict[str, int] = field(default_factory=dict)
+
+class HierarchyStats:
+    """Aggregated access counts by class.
+
+    The per-access path (:meth:`record`) is two integer-list stores rather
+    than two string-keyed dict updates; ``accesses``/``total_latency``
+    materialize dicts holding exactly the classes that were recorded, so
+    readers see the same shape as before.
+    """
+
+    __slots__ = ("_counts", "_latency")
+
+    def __init__(self):
+        self._counts = [0] * len(_STAT_KINDS)
+        self._latency = [0] * len(_STAT_KINDS)
 
     def record(self, kind: str, latency: int) -> None:
-        self.accesses[kind] = self.accesses.get(kind, 0) + 1
-        self.total_latency[kind] = self.total_latency.get(kind, 0) + latency
+        index = _STAT_INDEX[kind]
+        self._counts[index] += 1
+        self._latency[index] += latency
+
+    def fold(self, kind: str, count: int, latency: int) -> None:
+        """Merge one batch's accumulated count/latency for ``kind``."""
+        index = _STAT_INDEX[kind]
+        self._counts[index] += count
+        self._latency[index] += latency
+
+    @property
+    def accesses(self) -> Dict[str, int]:
+        return {name: count
+                for name, count in zip(_STAT_KINDS, self._counts) if count}
+
+    @property
+    def total_latency(self) -> Dict[str, int]:
+        return {name: latency
+                for name, latency, count in zip(_STAT_KINDS, self._latency,
+                                                self._counts) if count}
 
     def average_latency(self, kind: str) -> float:
-        count = self.accesses.get(kind, 0)
-        if count == 0:
+        index = _STAT_INDEX.get(kind)
+        if index is None or not self._counts[index]:
             return 0.0
-        return self.total_latency[kind] / count
+        return self._latency[index] / self._counts[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, HierarchyStats):
+            return NotImplemented
+        return (self._counts == other._counts
+                and self._latency == other._latency)
+
+    def __repr__(self) -> str:
+        return (f"HierarchyStats(accesses={self.accesses}, "
+                f"total_latency={self.total_latency})")
 
 
 class MemoryHierarchy:
     """L1D + lock location cache + L2 + L3 + DRAM with prefetchers and TLBs."""
+
+    #: Per-instance override for the native timing core on the batch paths:
+    #: ``None`` defers to the kernel's availability (and its
+    #: ``REPRO_TIMECORE`` kill switch), ``False`` forces the Python loops,
+    #: ``True`` is merely an explicit "use it when available".
+    native_override: Optional[bool] = None
 
     def __init__(self, config: Optional[HierarchyConfig] = None):
         self.config = config or HierarchyConfig()
@@ -129,6 +178,8 @@ class MemoryHierarchy:
     def access(self, address: int, is_write: bool = False,
                port: PortKind = PortKind.DATA) -> int:
         """Perform one access and return its total latency in cycles."""
+        if "_tc_state" in self.__dict__:
+            self._tc_sync()
         if port is PortKind.LOCK and self.config.lock_cache_enabled:
             return self._lock_access(address, is_write)
         if port is PortKind.SHADOW and self.config.ideal_shadow:
@@ -181,7 +232,19 @@ class MemoryHierarchy:
         and statistics (stores retire at fixed latency off the critical
         path).  State transitions and statistics are bit-identical to the
         equivalent :meth:`access` sequence.
+
+        When the native timing core is available (and not overridden off),
+        the whole batch is replayed by the C kernel instead — with identical
+        results by construction (see :mod:`repro.native._timecore`).
         """
+        if len(addrs) and self.native_override is not False:
+            from repro.native import _timecore
+            lib = _timecore.load()
+            if lib is not None:
+                self._batch_native(lib, addrs, specs, positions, lats, True)
+                return
+        if "_tc_state" in self.__dict__:
+            self._tc_sync()
         config = self.config
         lock_en = config.lock_cache_enabled
         ideal = config.ideal_shadow
@@ -346,13 +409,9 @@ class MemoryHierarchy:
         names = ("data",
                  "lock" if lock_en else "lock-on-data",
                  "shadow-ideal" if ideal else "shadow")
-        accesses = self.stats.accesses
-        total_latency = self.stats.total_latency
         for code in (0, 1, 2):
             if counts[code]:
-                name = names[code]
-                accesses[name] = accesses.get(name, 0) + counts[code]
-                total_latency[name] = total_latency.get(name, 0) + waits[code]
+                self.stats.fold(names[code], counts[code], waits[code])
 
     def warm_batch(self, addrs, specs) -> None:
         """Replay accesses for warm-up: state transitions only, no counters.
@@ -364,6 +423,14 @@ class MemoryHierarchy:
         accesses under the ideal-shadow ablation change no state and are
         skipped entirely (matching :meth:`access`).
         """
+        if len(addrs) and self.native_override is not False:
+            from repro.native import _timecore
+            lib = _timecore.load()
+            if lib is not None:
+                self._batch_native(lib, addrs, specs, None, None, False)
+                return
+        if "_tc_state" in self.__dict__:
+            self._tc_sync()
         if isinstance(specs, int):
             specs = itertools.repeat(specs)
         config = self.config
@@ -458,6 +525,33 @@ class MemoryHierarchy:
                 if len(cset) >= l3_assoc:
                     cset.popitem(last=False)
                 cset[block] = False
+
+    def _batch_native(self, lib, addrs, specs, positions, lats,
+                      collect: bool) -> None:
+        """Replay one batch through an already-loaded native timing core.
+
+        The marshalling (OrderedDicts to int64 arenas and back) lives with
+        the kernel in :mod:`repro.native._timecore`; this indirection exists
+        so the kernel's load-time self-test can drive a candidate library
+        against hierarchies whose ``native_override`` forces the Python path.
+        """
+        from repro.native import _timecore
+        _timecore.run_batch(lib, self, addrs, specs, positions, lats, collect)
+
+    def _tc_sync(self) -> None:
+        """Rebuild the OrderedDict structures from the native arena state.
+
+        After a native batch the int64 arenas (``_tc_state``) are the
+        authoritative cache/TLB/prefetcher state and the OrderedDicts are
+        stale; counters and stats are always exact.  Every Python path that
+        reads or mutates the structures directly syncs first; the compiled
+        flow never needs to (it consumes counters only).  No-op when no
+        native batch has run.
+        """
+        state = self.__dict__.pop("_tc_state", None)
+        if state is not None:
+            from repro.native import _timecore
+            _timecore.import_state(state, self)
 
     # -- statistics ----------------------------------------------------------
     def lock_cache_mpki(self, instructions: int) -> float:

@@ -1,0 +1,21 @@
+"""Optional native (C) kernels compiled with the system compiler.
+
+Two hot loops of the reproduction are lowered to C kernels, both following
+the same recipe (proved out by the fast-forward kernel of the workload
+generator): the source is embedded in a Python module, compiled at first use
+with whatever system C compiler is available, cached on disk keyed by a hash
+of the source, loaded through :mod:`ctypes`, and *self-tested at load time*
+against the pure-Python reference implementation before it is trusted.  When
+anything in that chain fails — no compiler, a failed build, a self-test
+mismatch, or an explicit env kill switch — the caller silently falls back to
+the bit-identical Python path.
+
+* :mod:`repro.native.build` — the shared compile-at-first-use machinery
+  (trusted cache directory, cc invocation, artifact cache, memoized loader).
+* :mod:`repro.native._timecore` — the timing core: the batched memory
+  hierarchy walk and the dispatch/issue/commit integer scheduler of the
+  compiled pipeline (kill switch ``REPRO_TIMECORE=0``).
+* :mod:`repro.workloads._ffcore` — the workload fast-forward kernel lives
+  with the workloads but builds through :mod:`repro.native.build` (kill
+  switch ``REPRO_FFCORE=0``).
+"""

@@ -1,0 +1,145 @@
+"""Compile-at-first-use machinery shared by the native kernels.
+
+Every native kernel in this repository follows one recipe (established by the
+fast-forward kernel, :mod:`repro.workloads._ffcore`):
+
+1. the C source is embedded in the owning Python module,
+2. at first use it is compiled with whatever system C compiler responds
+   (``cc``, ``gcc``, ``clang``) into a shared object cached on disk under a
+   name derived from the sha256 of the source — so a source change can never
+   pick up a stale artifact, and a second process (or a later run) reuses the
+   build,
+3. the artifact is loaded with :mod:`ctypes` and **self-tested** against the
+   pure-Python reference implementation before it is trusted,
+4. an environment kill switch disables the kernel outright, and *any* failure
+   anywhere in the chain makes the loader return ``None`` so the caller falls
+   back to the bit-identical Python path.
+
+This module holds the shared steps (trusted cache directory, compilation,
+memoized load); each kernel module supplies its source, its ctypes bindings
+and its self-test.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+_COMPILERS = ("cc", "gcc", "clang")
+
+
+def _dir_is_trusted(path: Path) -> bool:
+    """Refuse to load/compile kernels from a directory another user controls.
+
+    The shared-tmp fallback has a predictable name; without this check a
+    local attacker could pre-create it and plant a ``.so`` that
+    ``ctypes.CDLL`` would execute before the self-test runs.
+    """
+    try:
+        stat = path.stat()
+    except OSError:
+        return False
+    uid = getattr(os, "getuid", lambda: 0)()
+    if hasattr(os, "getuid") and stat.st_uid != uid:
+        return False
+    # No group/other write permission.
+    return (stat.st_mode & 0o022) == 0
+
+
+def cache_dir(dir_env: str) -> Optional[Path]:
+    """The trusted artifact directory, or ``None`` when none is available.
+
+    ``dir_env`` names an environment variable overriding the location (used
+    by tests to build into a temporary directory); otherwise the per-user
+    cache directory is used, with a per-uid tmp directory as fallback.
+    """
+    override = os.environ.get(dir_env)
+    if override:
+        path = Path(override)
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return None
+        return path if _dir_is_trusted(path) else None
+    for path in (Path.home() / ".cache" / "repro-watchdog",
+                 Path(tempfile.gettempdir()) /
+                 f"repro-watchdog-{getattr(os, 'getuid', lambda: 0)()}"):
+        try:
+            path.mkdir(parents=True, exist_ok=True, mode=0o700)
+        except OSError:
+            continue
+        if _dir_is_trusted(path):
+            return path
+    return None
+
+
+def compile_source(source: str, so_path: Path) -> bool:
+    """Build ``source`` into ``so_path``; False on any failure."""
+    try:
+        so_path.parent.mkdir(parents=True, exist_ok=True)
+        src = so_path.with_suffix(".c")
+        src.write_text(source, encoding="utf-8")
+        tmp = so_path.with_name(f".{so_path.name}.{os.getpid()}.tmp")
+        for compiler in _COMPILERS:
+            try:
+                result = subprocess.run(
+                    [compiler, "-O2", "-fPIC", "-shared", "-o", str(tmp),
+                     str(src)],
+                    capture_output=True, timeout=120)
+            except (OSError, subprocess.SubprocessError):
+                continue
+            if result.returncode == 0 and tmp.exists():
+                os.replace(tmp, so_path)  # atomic: concurrent builds race safely
+                return True
+        return False
+    except OSError:
+        return False
+
+
+def artifact_path(name: str, source: str, dir_env: str) -> Optional[Path]:
+    """Where ``name``'s artifact for this exact source lives (may not exist)."""
+    directory = cache_dir(dir_env)
+    if directory is None:
+        return None
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    return directory / f"{name}-{digest}.so"
+
+
+#: Kernel name -> ``(lib_or_None,)``.  Memoizes :func:`load_kernel` per
+#: process; tests clear entries to force a reload under changed conditions.
+_LOADED: Dict[str, Tuple[Optional[ctypes.CDLL]]] = {}
+
+
+def load_kernel(name: str, source: str, switch_env: str, dir_env: str,
+                bind: Callable[[Path], ctypes.CDLL],
+                self_test: Callable[[ctypes.CDLL], bool]):
+    """The compiled-and-verified kernel ``name``, or ``None`` (memoized).
+
+    ``switch_env`` names the kill-switch environment variable (value ``"0"``
+    disables the kernel), ``dir_env`` the cache-directory override.  ``bind``
+    attaches ctypes signatures to the loaded library; ``self_test`` must
+    return True before the kernel is handed out.  Every failure — missing
+    compiler, failed build, binding error, failed or crashing self-test —
+    yields ``None``, and the decision is remembered for the process.
+    """
+    cached = _LOADED.get(name)
+    if cached is not None:
+        return cached[0]
+    lib = None
+    if os.environ.get(switch_env, "").strip() != "0":
+        try:
+            so_path = artifact_path(name, source, dir_env)
+            if so_path is not None and (so_path.exists()
+                                        or compile_source(source, so_path)):
+                candidate = bind(so_path)
+                if self_test(candidate):
+                    lib = candidate
+        except Exception:
+            lib = None
+    _LOADED[name] = (lib,)
+    return lib

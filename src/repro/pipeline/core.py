@@ -25,6 +25,7 @@ the *relative* overheads the paper reports.
 from __future__ import annotations
 
 import functools
+from array import array
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, Optional
@@ -92,7 +93,8 @@ class OutOfOrderCore:
 
     def __init__(self, machine: Optional[MachineConfig] = None,
                  watchdog: Optional[WatchdogConfig] = None,
-                 hierarchy: Optional[MemoryHierarchy] = None):
+                 hierarchy: Optional[MemoryHierarchy] = None,
+                 timecore: Optional[bool] = None):
         self.machine = machine or MachineConfig()
         self.watchdog = watchdog or WatchdogConfig()
         if hierarchy is None:
@@ -102,6 +104,12 @@ class OutOfOrderCore:
                 self.machine.hierarchy, self.watchdog.lock_cache_enabled,
                 self.watchdog.ideal_shadow))
         self.hierarchy = hierarchy
+        #: Native timing core knob: ``None`` uses the kernel when available
+        #: (still subject to ``REPRO_TIMECORE=0``), ``False`` forces the
+        #: Python loops.  Propagated to the hierarchy's batch paths.
+        self.timecore = timecore
+        if timecore is not None:
+            self.hierarchy.native_override = bool(timecore)
         self.units = FunctionalUnits(self.machine.functional_units, self.watchdog)
 
     # -- helpers -----------------------------------------------------------------
@@ -280,7 +288,19 @@ class OutOfOrderCore:
         2. a tight integer loop schedules dispatch, operand readiness (flat
            register-slot scoreboards), port reservation, completion and
            in-order commit.
+
+        When the native timing core is available (and ``timecore`` is not
+        ``False``), both passes run inside the C kernel instead, with
+        bit-identical results; any unpackable stream or unusual machine
+        shape falls back to the Python loop below.
         """
+        if self.timecore is not False:
+            from repro.native import _timecore
+            lib = _timecore.load()
+            if lib is not None:
+                result = self._simulate_compiled_native(stream, lib)
+                if result is not None:
+                    return result
         machine = self.machine
         lats = stream.lat_template.copy()
         self.hierarchy.access_batch(stream.mem_addr, stream.mem_spec,
@@ -455,6 +475,85 @@ class OutOfOrderCore:
         for pool, uses, waited in zip(pools, pool_uses, pool_waits):
             pool.uses += uses
             pool.total_wait += waited
+        port_waits = {name: pool.average_wait()
+                      for name, pool in self.units.all_pools().items()}
+        return TimingResult(
+            cycles=max(last_commit, 1),
+            total_uops=stream.total_uops,
+            injected_uops=stream.injected_uops,
+            macro_instructions=stream.macro_instructions,
+            memory_accesses=stream.memory_accesses,
+            lock_cache_misses=self.hierarchy.lock_cache.misses,
+            l1d_misses=self.hierarchy.l1d.misses,
+            port_waits=port_waits,
+        )
+
+    def _simulate_compiled_native(self, stream, lib) -> Optional[TimingResult]:
+        """Run both passes of :meth:`simulate_compiled` in the C kernel.
+
+        Returns ``None`` (leaving all state untouched) when the stream or
+        machine shape cannot be expressed in the kernel's packed format —
+        the caller then takes the Python loop.
+        """
+        from repro.native import _timecore
+
+        machine = self.machine
+        if min(machine.rob_entries, machine.iq_entries, machine.lq_entries,
+               machine.sq_entries, machine.dispatch_width,
+               machine.commit_width) < 1:
+            return None
+        packed = _timecore.pack_stream(stream)
+        if packed is None:
+            return None
+        words, lat_template, mem_pos, mem_addr, mem_spec = packed
+
+        lats = lat_template[:]
+        if len(mem_addr):
+            self.hierarchy._batch_native(lib, mem_addr, mem_spec, mem_pos,
+                                         lats, True)
+
+        pools = list(self.units.all_pools().values())
+        pool_index = {id(pool): i for i, pool in enumerate(pools)}
+        pool_map = array("q", bytes(8 * len(UopKind)))
+        for kind in UopKind:
+            pool_map[kind.code] = pool_index[id(self.units.pool_for(kind))]
+        offsets = [0]
+        flat_free: list = []
+        for pool in pools:
+            flat_free.extend(pool._next_free)
+            offsets.append(len(flat_free))
+        pool_free = array("q", flat_free)
+        pool_off = array("q", offsets)
+        pool_uses = array("q", bytes(8 * len(pools)))
+        pool_waits = array("q", bytes(8 * len(pools)))
+        # 64 slots covers every register index the packed format can encode,
+        # independent of NUM_REG_SLOTS.
+        ready = array("q", bytes(8 * 64))
+        meta_ready = array("q", bytes(8 * 64))
+        robq = array("q", bytes(8 * machine.rob_entries))
+        iqq = array("q", bytes(8 * machine.iq_entries))
+        lqq = array("q", bytes(8 * machine.lq_entries))
+        sqq = array("q", bytes(8 * machine.sq_entries))
+        cfg = array("q", (machine.dispatch_width, machine.dispatch_latency,
+                          machine.commit_width,
+                          machine.branch_misprediction_penalty,
+                          machine.fetch_latency + machine.rename_latency,
+                          machine.rob_entries, machine.iq_entries,
+                          machine.lq_entries, machine.sq_entries))
+        last_commit = lib.sched_run(
+            cfg.buffer_info()[0], words.buffer_info()[0],
+            lats.buffer_info()[0], len(words), ready.buffer_info()[0],
+            meta_ready.buffer_info()[0], pool_map.buffer_info()[0],
+            pool_free.buffer_info()[0], pool_off.buffer_info()[0],
+            pool_uses.buffer_info()[0], pool_waits.buffer_info()[0],
+            robq.buffer_info()[0], iqq.buffer_info()[0],
+            lqq.buffer_info()[0], sqq.buffer_info()[0])
+
+        for i, pool in enumerate(pools):
+            # In-place: FunctionalUnits hands out the same list objects.
+            pool._next_free[:] = pool_free[pool_off[i]:pool_off[i + 1]]
+            pool.uses += pool_uses[i]
+            pool.total_wait += pool_waits[i]
         port_waits = {name: pool.average_wait()
                       for name, pool in self.units.all_pools().items()}
         return TimingResult(

@@ -95,9 +95,11 @@ def repo_revision() -> str:
 def run_matrix(benchmarks: Sequence[str], instructions: int, seed: int,
                pipeline: str,
                machine: Optional[MachineConfig] = None,
-               sampling: Optional[SamplingConfig] = None) -> Dict[str, object]:
+               sampling: Optional[SamplingConfig] = None,
+               timecore: Optional[bool] = None) -> Dict[str, object]:
     """Time the cell matrix under one pipeline; returns the stats record."""
-    simulator = Simulator(machine=machine, pipeline=pipeline)
+    simulator = Simulator(machine=machine, pipeline=pipeline,
+                          timecore=timecore)
     phases = {"generate": 0.0, "compile": 0.0, "simulate": 0.0}
     total_uops = 0
     cells = 0
@@ -222,6 +224,43 @@ def run_paper_cell(benchmark: str = PAPER_BENCHMARK,
                             machine=machine)
 
 
+def run_timecore_cell(benchmarks: Optional[Sequence[str]] = None,
+                      instructions: Optional[int] = None,
+                      seed: int = DEFAULT_SEED) -> Dict[str, object]:
+    """Time the fig7 matrix with the native timing core pinned on.
+
+    The gated figure is µops per second of *simulate-phase* wall time —
+    the quantity the C kernel controls (workload generation and stream
+    compilation have their own cells) — reported as ``kernel_uops_per_sec``
+    and gated in CI against the ``benchmarks/perf_baseline.json`` floor.
+    Deliberately not scaled down by ``--quick``: the floor describes the
+    full-matrix rate, and at smoke scale per-cell setup noise would swamp
+    the kernel.  ``accelerated`` records whether the kernel actually
+    loaded, so a regression caused by a silently failed build is
+    distinguishable from a real slowdown.
+    """
+    from repro.native import _timecore
+
+    benchmarks = tuple(benchmarks or benchmark_names())
+    if instructions is None:
+        instructions = DEFAULT_INSTRUCTIONS
+    stats = run_matrix(benchmarks, instructions, seed, PIPELINE_COMPILED,
+                       timecore=True)
+    simulate = stats["phases_seconds"]["simulate"]
+    return {
+        "benchmarks": list(benchmarks),
+        "instructions": instructions,
+        "cells": stats["cells"],
+        "total_uops": stats["total_uops"],
+        "wall_seconds": stats["wall_seconds"],
+        "simulate_seconds": simulate,
+        "matrix_uops_per_sec": stats["uops_per_sec"],
+        "kernel_uops_per_sec": round(stats["total_uops"] / simulate, 1)
+        if simulate else 0.0,
+        "accelerated": _timecore.load() is not None,
+    }
+
+
 def run_suite_cell(seed: int = DEFAULT_SEED, quick: bool = True) -> Dict[str, object]:
     """Time the full registered experiment suite through the generic runner.
 
@@ -268,7 +307,8 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
               include_sampled: bool = True,
               include_fast_forward: bool = True,
               include_paper: bool = True,
-              include_suite: bool = True) -> Dict[str, object]:
+              include_suite: bool = True,
+              include_timecore: bool = True) -> Dict[str, object]:
     """Run the benchmark (optionally under both pipelines) and summarize.
 
     ``instructions=None`` selects the scale implied by ``quick``; an
@@ -280,7 +320,10 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
     paper-scale smoke cell (:func:`run_paper_cell` — deliberately not scaled
     down by ``quick``: completing the full paper horizon is the point), and
     ``include_suite`` the merged registry suite cell
-    (:func:`run_suite_cell`, always at quick scale).
+    (:func:`run_suite_cell`, always at quick scale), and
+    ``include_timecore`` the native-timing-core matrix cell
+    (:func:`run_timecore_cell` — like the paper cell, never scaled down by
+    ``quick``: the ``kernel_uops_per_sec`` floor describes the full matrix).
     """
     if quick:
         benchmarks = tuple(benchmarks or QUICK_BENCHMARKS)
@@ -326,6 +369,8 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
         record["paper_sampled"] = run_paper_cell(seed=seed)
     if include_suite:
         record["suite"] = run_suite_cell(seed=seed)
+    if include_timecore:
+        record["timecore"] = run_timecore_cell(seed=seed)
     return record
 
 
@@ -347,9 +392,10 @@ def check_against_baseline(record: Dict[str, object], baseline_path: str,
     class); the check fails when throughput drops more than
     ``max_regression`` below it.  ``sampled_uops_per_sec``,
     ``fast_forward_ops_per_sec``, ``paper_sampled_uops_per_sec`` and
-    ``suite_cells_per_sec`` baseline entries additionally gate the sampled
-    long-profile cell, the skip-window-only fast-forward cell, the 100M
-    paper-scale cell and the merged registry suite cell the same way.
+    ``suite_cells_per_sec`` and ``kernel_uops_per_sec`` baseline entries
+    additionally gate the sampled long-profile cell, the skip-window-only
+    fast-forward cell, the 100M paper-scale cell, the merged registry suite
+    cell and the native-timecore matrix cell the same way.
     """
     data = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
     checks = [("matrix", float(data["uops_per_sec"]),
@@ -363,6 +409,8 @@ def check_against_baseline(record: Dict[str, object], baseline_path: str,
         ("paper_sampled", "paper_sampled_uops_per_sec", "uops_per_sec",
          "uops/sec"),
         ("suite", "suite_cells_per_sec", "suite_cells_per_sec", "cells/sec"),
+        ("timecore", "kernel_uops_per_sec", "kernel_uops_per_sec",
+         "uops/sec"),
     )
     for name, baseline_key, record_key, unit in optional_gates:
         floor = data.get(baseline_key)
@@ -428,6 +476,15 @@ def format_summary(record: Dict[str, object]) -> str:
             f"{fast_forward['wall_seconds']:.2f}s — "
             f"{fast_forward['fast_forward_ops_per_sec']:,.0f} ops/sec "
             f"({'native kernel' if fast_forward['accelerated'] else 'pure python'})")
+    timecore = record.get("timecore")
+    if timecore:
+        lines.append(
+            f"{'timecore':>13}: {timecore['cells']} cells, "
+            f"{timecore['total_uops']:,} uops "
+            f"(simulate {timecore['simulate_seconds']:.2f}s of "
+            f"{timecore['wall_seconds']:.2f}s) — "
+            f"{timecore['kernel_uops_per_sec']:,.0f} uops/sec in kernel "
+            f"({'native kernel' if timecore['accelerated'] else 'pure python'})")
     suite = record.get("suite")
     if suite:
         lines.append(

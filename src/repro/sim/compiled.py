@@ -625,6 +625,8 @@ def warm_working_set(hierarchy, ws: WorkingSetArrays,
     metadata is maintained and not idealized), then lock locations, then
     data lines — so data ends up most-recently-used in every level.
     """
+    if "_tc_state" in hierarchy.__dict__:
+        hierarchy._tc_sync()  # installs below mutate the Python structures
     shadow = ws.shadow if (config.enabled and not config.ideal_shadow) else ()
     locks = ws.locks if config.enabled else ()
     data = ws.data
@@ -639,15 +641,37 @@ def warm_working_set(hierarchy, ws: WorkingSetArrays,
 
     l1 = hierarchy.l1d
     l2 = hierarchy.l2
-    _install_tail(l1, l1_pieces, l1._num_sets * l1._assoc)
-    _install_tail(l2, all_pieces, l2._num_sets * l2._assoc)
-    _install_tail(hierarchy.l3, all_pieces, None)
-    _fill_tlb(hierarchy.dtlb, l1_pieces)
-    if lock_pieces:
-        lock_cache = hierarchy.lock_cache
-        _install_tail(lock_cache, lock_pieces,
-                      lock_cache._num_sets * lock_cache._assoc)
-        _fill_tlb(hierarchy.lock_tlb, lock_pieces)
+    lib = None
+    if hierarchy.native_override is not False:
+        from repro.native import _timecore
+        lib = _timecore.load()
+    if lib is not None:
+        # TLBs first (cheap Python fills picked up by the state export),
+        # then the cache installs run natively on the persistent arenas —
+        # so the state never needs flattening after the bulk install.
+        _fill_tlb(hierarchy.dtlb, l1_pieces)
+        if lock_pieces:
+            _fill_tlb(hierarchy.lock_tlb, lock_pieces)
+        state = _timecore.attach_state(lib, hierarchy)
+        _timecore.cache_fill(state, "l1", l1, l1_pieces,
+                             l1._num_sets * l1._assoc)
+        _timecore.cache_fill(state, "l2", l2, all_pieces,
+                             l2._num_sets * l2._assoc)
+        _timecore.cache_fill(state, "l3", hierarchy.l3, all_pieces, None)
+        if lock_pieces:
+            lock_cache = hierarchy.lock_cache
+            _timecore.cache_fill(state, "lk", lock_cache, lock_pieces,
+                                 lock_cache._num_sets * lock_cache._assoc)
+    else:
+        _install_tail(l1, l1_pieces, l1._num_sets * l1._assoc)
+        _install_tail(l2, all_pieces, l2._num_sets * l2._assoc)
+        _install_tail(hierarchy.l3, all_pieces, None)
+        _fill_tlb(hierarchy.dtlb, l1_pieces)
+        if lock_pieces:
+            lock_cache = hierarchy.lock_cache
+            _install_tail(lock_cache, lock_pieces,
+                          lock_cache._num_sets * lock_cache._assoc)
+            _fill_tlb(hierarchy.lock_tlb, lock_pieces)
     hierarchy.reset_stats()
 
 

@@ -140,9 +140,15 @@ class Simulator:
 
     def __init__(self, machine: Optional[MachineConfig] = None,
                  pipeline: Optional[str] = None,
-                 release_sample_caches: bool = False):
+                 release_sample_caches: bool = False,
+                 timecore: Optional[bool] = None):
         self.machine = machine or MachineConfig()
         self.pipeline = resolve_pipeline(pipeline)
+        #: Native timing-core override handed to every core this simulator
+        #: builds: ``True`` forces the C kernel (still falls back if it can't
+        #: load), ``False`` forces the Python loops, ``None`` defers to the
+        #: ``REPRO_TIMECORE`` environment switch.
+        self.timecore = timecore
         #: When set, sampled replays drop each sample's compiled-stream and
         #: working-set-array caches as soon as its outcome is aggregated
         #: (see :meth:`sample_outcomes`), trading recompilation on a later
@@ -191,7 +197,8 @@ class Simulator:
         """Expand and time a trace through the reference object pipeline."""
         pages = PageAccountant()
         expander = TraceExpander(config, pages=pages)
-        core = OutOfOrderCore(machine=self.machine, watchdog=config)
+        core = OutOfOrderCore(machine=self.machine, watchdog=config,
+                              timecore=self.timecore)
         if workload is not None:
             self._warm_working_set(core, config, workload)
         if warmup_trace is not None:
@@ -232,7 +239,8 @@ class Simulator:
         """Warm the hierarchy and run the array scheduler on packed streams."""
         from repro.sim import compiled as compiled_mod
 
-        core = OutOfOrderCore(machine=self.machine, watchdog=config)
+        core = OutOfOrderCore(machine=self.machine, watchdog=config,
+                              timecore=self.timecore)
         if ws_arrays is not None:
             compiled_mod.warm_working_set(core.hierarchy, ws_arrays, config)
         if warm is not None:

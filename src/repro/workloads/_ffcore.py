@@ -4,7 +4,8 @@ The state-evolution core (:mod:`repro.workloads.state_core`) must advance a
 skip window's worth of events while keeping the Mersenne-Twister position
 bit-identical to what per-op generation would have drawn — which caps a pure
 Python loop at roughly a million events per second.  This module compiles a
-small C kernel (with the system C compiler, at first use, cached on disk)
+small C kernel (through the shared :mod:`repro.native.build` machinery: the
+system C compiler, at first use, cached on disk)
 that replicates CPython's MT19937 primitives — ``random()`` is two tempered
 words combined as ``genrand_res53`` and ``_randbelow(n)`` is
 ``getrandbits(n.bit_length())`` with rejection — and runs the event-advance
@@ -22,14 +23,11 @@ against the real :class:`~repro.allocator.runtime.InstrumentedRuntime`.
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
 import random
-import subprocess
-import tempfile
 from array import array
 from pathlib import Path
-from typing import Optional
+
+from repro.native import build
 
 #: ``scal`` slot layout shared with the C kernel (int64 in/out registers).
 SCAL_REMAINING = 0
@@ -271,71 +269,6 @@ long long ff_selftest(uint32_t *mtstate, long long *mti_io, double *dout,
 }
 """
 
-_COMPILERS = ("cc", "gcc", "clang")
-
-
-def _dir_is_trusted(path: Path) -> bool:
-    """Refuse to load/compile kernels from a directory another user controls.
-
-    The shared-tmp fallback has a predictable name; without this check a
-    local attacker could pre-create it and plant a ``.so`` that
-    ``ctypes.CDLL`` would execute before the self-test runs.
-    """
-    try:
-        stat = path.stat()
-    except OSError:
-        return False
-    uid = getattr(os, "getuid", lambda: 0)()
-    if hasattr(os, "getuid") and stat.st_uid != uid:
-        return False
-    # No group/other write permission.
-    return (stat.st_mode & 0o022) == 0
-
-
-def _cache_dir() -> Optional[Path]:
-    override = os.environ.get("REPRO_FFCORE_DIR")
-    if override:
-        path = Path(override)
-        try:
-            path.mkdir(parents=True, exist_ok=True)
-        except OSError:
-            return None
-        return path if _dir_is_trusted(path) else None
-    for path in (Path.home() / ".cache" / "repro-watchdog",
-                 Path(tempfile.gettempdir()) /
-                 f"repro-watchdog-{getattr(os, 'getuid', lambda: 0)()}"):
-        try:
-            path.mkdir(parents=True, exist_ok=True, mode=0o700)
-        except OSError:
-            continue
-        if _dir_is_trusted(path):
-            return path
-    return None
-
-
-def _compile(so_path: Path) -> bool:
-    """Build the kernel into ``so_path``; False on any failure."""
-    try:
-        so_path.parent.mkdir(parents=True, exist_ok=True)
-        src = so_path.with_suffix(".c")
-        src.write_text(_SOURCE, encoding="utf-8")
-        tmp = so_path.with_name(f".{so_path.name}.{os.getpid()}.tmp")
-        for compiler in _COMPILERS:
-            try:
-                result = subprocess.run(
-                    [compiler, "-O2", "-fPIC", "-shared", "-o", str(tmp),
-                     str(src)],
-                    capture_output=True, timeout=120)
-            except (OSError, subprocess.SubprocessError):
-                continue
-            if result.returncode == 0 and tmp.exists():
-                os.replace(tmp, so_path)  # atomic: concurrent builds race safely
-                return True
-        return False
-    except OSError:
-        return False
-
-
 def _bind(so_path: Path):
     lib = ctypes.CDLL(str(so_path))
     lib.ff_advance.restype = ctypes.c_longlong
@@ -363,27 +296,8 @@ def _self_test(lib) -> bool:
             and tuple(mt) == end_state[1][:624] and mti[0] == end_state[1][624])
 
 
-#: ``None`` until :func:`load` runs; ``(lib,)`` or ``(None,)`` afterwards.
-_LOADED: Optional[tuple] = None
-
-
 def load():
     """The compiled kernel, or ``None`` when unavailable (memoized)."""
-    global _LOADED
-    if _LOADED is not None:
-        return _LOADED[0]
-    lib = None
-    if os.environ.get("REPRO_FFCORE", "").strip() != "0":
-        try:
-            cache_dir = _cache_dir()
-            if cache_dir is not None:
-                digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-                so_path = cache_dir / f"ffcore-{digest}.so"
-                if so_path.exists() or _compile(so_path):
-                    candidate = _bind(so_path)
-                    if _self_test(candidate):
-                        lib = candidate
-        except Exception:
-            lib = None
-    _LOADED = (lib,)
-    return lib
+    return build.load_kernel("ffcore", _SOURCE, switch_env="REPRO_FFCORE",
+                             dir_env="REPRO_FFCORE_DIR", bind=_bind,
+                             self_test=_self_test)
