@@ -22,6 +22,7 @@ including cell provenance, as JSON.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -30,8 +31,10 @@ from typing import List, Optional
 from repro.experiments import REGISTRY, run_experiments
 from repro.sim.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.sim.engine import SweepEngine
+from repro.sim.faults import FaultPlan
+from repro.sim.journal import RunJournal
 from repro.sim.sampling import SAMPLING_SCHEDULES
-from repro.sim.spec import settings_from_args
+from repro.sim.spec import ResiliencePolicy, settings_from_args
 from repro.workloads.profiles import (
     benchmark_names,
     long_profile_names,
@@ -88,6 +91,24 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable the persistent result cache")
     run.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
                      help=f"result cache location (default: {DEFAULT_CACHE_DIR})")
+    run.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="re-executions per crashed/timed-out cell before "
+                          "quarantine (default: 2, or REPRO_RETRIES)")
+    run.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                     help="per-cell wall-clock budget, enforced on pooled "
+                          "rounds with --workers > 1 (default: unlimited, "
+                          "or REPRO_DEADLINE)")
+    run.add_argument("--resume", action="store_true",
+                     help="continue an interrupted run: serve cells the "
+                          "previous run's journal completed, re-simulate "
+                          "only failed/unreached ones")
+    run.add_argument("--journal", metavar="FILE", default=None,
+                     help="completed/failed-cell journal location (default: "
+                          "<cache-dir>/journal.jsonl)")
+    run.add_argument("--faults", metavar="SPEC", default=None,
+                     help="deterministic fault-injection plan, e.g. "
+                          "'crash:gzip:0,slow:mcf:*:5,corrupt:gzip/baseline,"
+                          "selftest:timecore' (also: REPRO_FAULTS)")
 
     cache = sub.add_parser("cache", help="inspect or prune the result cache")
     cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
@@ -136,6 +157,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="FRACTION",
                        help="allowed throughput regression for --check "
                             "(default: 0.30)")
+    bench.add_argument("--allow-degraded", action="store_true",
+                       help="do not fail the bench when a native kernel "
+                            "unexpectedly fell back to pure Python (by "
+                            "default any unexpected degradation event fails, "
+                            "so a dead kernel can't masquerade as a perf "
+                            "regression)")
     return parser
 
 
@@ -196,10 +223,39 @@ def _cmd_run(args) -> int:
         # Via the environment rather than a Simulator argument so sweep
         # worker processes inherit the switch.
         os.environ["REPRO_TIMECORE"] = "0"
+    if args.faults is not None:
+        # Also via the environment: pooled workers and kernel loaders read
+        # the plan from REPRO_FAULTS, and validating here turns a typo into
+        # a usage error instead of a mid-sweep surprise.
+        try:
+            FaultPlan.parse(args.faults)
+        except ConfigurationError as error:
+            print(f"invalid --faults spec: {error}", file=sys.stderr)
+            return 2
+        os.environ["REPRO_FAULTS"] = args.faults
+    try:
+        policy = ResiliencePolicy.from_env()
+        overrides = {}
+        if args.retries is not None:
+            overrides["retries"] = args.retries
+        if args.deadline is not None:
+            overrides["deadline_seconds"] = args.deadline
+        if overrides:
+            policy = dataclasses.replace(policy, **overrides)
+    except ConfigurationError as error:
+        print(f"invalid resilience settings: {error}", file=sys.stderr)
+        return 2
     cache: Optional[ResultCache] = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)
-    engine = SweepEngine(workers=args.workers, cache=cache)
+    journal_path = args.journal or os.path.join(args.cache_dir,
+                                                "journal.jsonl")
+    journal = RunJournal(journal_path, resume=args.resume)
+    if args.resume and journal.stale:
+        print("[journal] previous journal is stale (different code or "
+              "schema); starting fresh", file=sys.stderr)
+    engine = SweepEngine(workers=args.workers, cache=cache, policy=policy,
+                         journal=journal)
 
     try:
         suite = run_experiments(names, settings=settings, engine=engine)
@@ -219,12 +275,19 @@ def _cmd_run(args) -> int:
     stats = suite.engine
     cache_text = (f"cache hits {stats['cache_hits']}, cache dir {cache.root}"
                   if cache is not None else "cache disabled")
+    journal_text = f", journal served {stats['journal_cells']} cells" \
+        if args.resume else ""
     print(f"[engine] simulated {stats['simulated_cells']} cells "
           f"({stats['merged_unique_cells']} unique of "
           f"{stats['grid_cells_total']} grid cells) in "
           f"{stats['simulation_batches']} batch(es), "
           f"sweep {stats['sweep_seconds']:.1f}s, "
-          f"workers {stats['workers']}, {cache_text}")
+          f"workers {stats['workers']}, {cache_text}{journal_text}")
+
+    for event in suite.degradations:
+        print(f"[degraded] {event.describe()}", file=sys.stderr)
+    for failure in suite.cell_failures:
+        print(f"[failed] {failure.describe()}", file=sys.stderr)
 
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
@@ -232,6 +295,13 @@ def _cmd_run(args) -> int:
             handle.write("\n")
         print(f"[report] wrote {args.report}")
 
+    if suite.cell_failures:
+        # Quarantined cells always fail the invocation — --no-check opts out
+        # of paper-value deviations, not of cells that never produced data.
+        print(f"[failed] {len(suite.cell_failures)} cell(s) exhausted the "
+              f"retry budget; rerun with --resume to retry only those cells",
+              file=sys.stderr)
+        return 1
     if not suite.ok:
         failed = ", ".join(report.name for report in suite.failures())
         print(f"[check] metrics deviate from the paper beyond tolerance in: "
@@ -269,6 +339,17 @@ def _cmd_bench(args) -> int:
         print(f"[bench] {message}")
         if not ok:
             return 1
+    if record.get("degradations") and not args.allow_degraded:
+        # A perf number measured on the pure-Python fallback is not a perf
+        # number for the native path: fail rather than let a dead kernel
+        # masquerade as (or mask) a regression.
+        print("[bench] unexpected degradation(s) during perf cells — the "
+              "measurements above do not describe the native path "
+              "(--allow-degraded to accept):", file=sys.stderr)
+        for event in record["degradations"]:
+            print(f"[bench]   {event.get('kind')}: {event.get('subject')} — "
+                  f"{event.get('detail')}", file=sys.stderr)
+        return 1
     return 0
 
 

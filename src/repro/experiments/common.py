@@ -60,6 +60,7 @@ __all__ = [
     "ExperimentSettings",
     "ExperimentSpec",
     "OverheadSweep",
+    "kernel_degradation_events",
     "run_definition",
     "run_experiments",
 ]
@@ -125,9 +126,18 @@ class OverheadSweep:
 
     # -- derived values ------------------------------------------------------------
     def overhead(self, benchmark: str, label: str, config: WatchdogConfig) -> float:
-        """Fractional slowdown of ``config`` over the baseline."""
+        """Fractional slowdown of ``config`` over the baseline.
+
+        NaN when either cell is a quarantined-failure placeholder (or the
+        baseline has no cycles at all): the extractors stay total over a
+        degraded grid — every benchmark keeps its row — while any check
+        whose inputs include a failed cell can only read DEVIATION, never a
+        silently-fabricated number.
+        """
         baseline = self.baseline(benchmark)
         configured = self.outcome(benchmark, label, config)
+        if baseline.failed or configured.failed or baseline.cycles <= 0:
+            return float("nan")
         return percent_overhead(baseline.cycles, configured.cycles)
 
     def overheads(self, label: str, config: WatchdogConfig) -> Dict[str, float]:
@@ -285,12 +295,42 @@ def run_experiments(names: Sequence[str],
         "simulated_cells": engine.simulated_cells,
         "simulation_batches": engine.simulation_batches,
         "cache_hits": engine.cache.hits if engine.cache is not None else 0,
+        "journal_cells": engine.journal_cells,
+        "pool_rebuilds": engine.pool_rebuilds,
+        "cell_failures": len(engine.cell_failures),
+        "degradation_events": len(engine.degradations),
         "workers": engine.workers,
         "sweep_seconds": round(sweep_elapsed, 4),
     }
     return SuiteReport(reports=reports,
                        settings=describe_settings(settings),
-                       engine=engine_stats)
+                       engine=engine_stats,
+                       degradations=kernel_degradation_events()
+                       + list(engine.degradations),
+                       cell_failures=list(engine.cell_failures))
+
+
+def kernel_degradation_events() -> List["DegradationEvent"]:
+    """Native kernels that should be running in this process but are not.
+
+    Probes both kernel loaders (their decisions are memoized, so this is
+    free after the first call) and maps each *unexpected* unavailability —
+    anything other than a deliberate kill switch — to a
+    ``kernel-unavailable`` :class:`~repro.sim.results.DegradationEvent`.
+    Worker processes make their own load decisions, but they run the same
+    code against the same environment and artifact cache, so the parent's
+    probe is representative of the fleet.
+    """
+    from repro.native import _timecore, build
+    from repro.sim.results import DegradationEvent
+    from repro.workloads import _ffcore
+
+    _timecore.load()
+    _ffcore.load()
+    return [DegradationEvent(
+                kind="kernel-unavailable", subject=name,
+                detail=f"{status.reason}; running the pure-Python fallback")
+            for name, status in sorted(build.unexpected_failures().items())]
 
 
 def describe_settings(settings: ExperimentSettings) -> Dict[str, object]:

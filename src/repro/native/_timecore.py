@@ -1058,3 +1058,8 @@ def load():
     return build.load_kernel("timecore", _SOURCE, switch_env="REPRO_TIMECORE",
                              dir_env="REPRO_TIMECORE_DIR", bind=_bind,
                              self_test=_self_test)
+
+
+def status():
+    """Why the last :func:`load` decision went the way it did (or ``None``)."""
+    return build.status("timecore")

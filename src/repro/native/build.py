@@ -15,9 +15,18 @@ fast-forward kernel, :mod:`repro.workloads._ffcore`):
    anywhere in the chain makes the loader return ``None`` so the caller falls
    back to the bit-identical Python path.
 
+The fallback is golden-equal but ~6× slower, so "return None" must never be
+the whole story: every load decision is recorded on a module-level
+:class:`KernelStatus` (``why`` did it fail — compiler missing, non-zero cc
+exit, refused self-test), an *unexpected* failure additionally emits a single
+:class:`RuntimeWarning` per process, and the statuses are surfaced by
+``repro bench`` and as :class:`~repro.sim.results.DegradationEvent` records
+in suite reports.  A deliberately disabled kernel (kill switch) is recorded
+as ``disabled`` and stays silent — the user asked for it.
+
 This module holds the shared steps (trusted cache directory, compilation,
-memoized load); each kernel module supplies its source, its ctypes bindings
-and its self-test.
+memoized load, status ledger); each kernel module supplies its source, its
+ctypes bindings and its self-test.
 """
 
 from __future__ import annotations
@@ -27,8 +36,10 @@ import hashlib
 import os
 import subprocess
 import tempfile
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 _COMPILERS = ("cc", "gcc", "clang")
 
@@ -78,13 +89,21 @@ def cache_dir(dir_env: str) -> Optional[Path]:
     return None
 
 
-def compile_source(source: str, so_path: Path) -> bool:
-    """Build ``source`` into ``so_path``; False on any failure."""
+def compile_source(source: str, so_path: Path) -> Optional[str]:
+    """Build ``source`` into ``so_path``; ``None`` on success, else why not.
+
+    The failure string names the concrete cause — no compiler on PATH, or
+    the last responding compiler's exit status with a stderr tail — so the
+    status ledger (and through it ``repro bench`` and suite reports) can say
+    more than "kernel unavailable".
+    """
     try:
         so_path.parent.mkdir(parents=True, exist_ok=True)
         src = so_path.with_suffix(".c")
         src.write_text(source, encoding="utf-8")
         tmp = so_path.with_name(f".{so_path.name}.{os.getpid()}.tmp")
+        failure: Optional[str] = None
+        responded = False
         for compiler in _COMPILERS:
             try:
                 result = subprocess.run(
@@ -93,12 +112,20 @@ def compile_source(source: str, so_path: Path) -> bool:
                     capture_output=True, timeout=120)
             except (OSError, subprocess.SubprocessError):
                 continue
+            responded = True
             if result.returncode == 0 and tmp.exists():
                 os.replace(tmp, so_path)  # atomic: concurrent builds race safely
-                return True
-        return False
-    except OSError:
-        return False
+                return None
+            stderr = result.stderr.decode(errors="replace").strip()
+            tail = stderr.splitlines()[-1] if stderr else "no diagnostics"
+            failure = (f"{compiler} exited with status "
+                       f"{result.returncode}: {tail}")
+        if not responded:
+            return (f"no C compiler responded "
+                    f"(tried {', '.join(_COMPILERS)})")
+        return failure
+    except OSError as exc:
+        return f"build I/O failure: {exc}"
 
 
 def artifact_path(name: str, source: str, dir_env: str) -> Optional[Path]:
@@ -110,9 +137,75 @@ def artifact_path(name: str, source: str, dir_env: str) -> Optional[Path]:
     return directory / f"{name}-{digest}.so"
 
 
+@dataclass
+class KernelStatus:
+    """The recorded outcome of one kernel's (memoized) load decision.
+
+    ``available`` — the kernel loaded and passed its self-test;
+    ``disabled`` — the kill switch turned it off on purpose;
+    ``reason`` — why an enabled kernel is nonetheless unavailable (empty
+    when available).  An enabled-but-unavailable kernel is the *unexpected*
+    case the resilience layer reports.
+    """
+
+    name: str
+    available: bool = False
+    disabled: bool = False
+    reason: str = ""
+    artifact: Optional[str] = None
+
+    @property
+    def unexpected(self) -> bool:
+        """True when the kernel should be running but is not."""
+        return not self.available and not self.disabled
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "available": self.available,
+                "disabled": self.disabled, "reason": self.reason,
+                "artifact": self.artifact}
+
+
 #: Kernel name -> ``(lib_or_None,)``.  Memoizes :func:`load_kernel` per
 #: process; tests clear entries to force a reload under changed conditions.
 _LOADED: Dict[str, Tuple[Optional[ctypes.CDLL]]] = {}
+
+#: Kernel name -> the status of its last load decision.  Rewritten whenever
+#: the memoized decision is remade (i.e. after ``_LOADED`` is cleared).
+_STATUS: Dict[str, KernelStatus] = {}
+
+#: Kernel names that already emitted their one-per-process unavailability
+#: warning (an unexpected failure warns once, not per call site).
+_WARNED: set = set()
+
+
+def status(name: str) -> Optional[KernelStatus]:
+    """The recorded load status of kernel ``name`` (None before first load)."""
+    return _STATUS.get(name)
+
+
+def statuses() -> Dict[str, KernelStatus]:
+    """All recorded kernel load statuses, by kernel name."""
+    return dict(_STATUS)
+
+
+def unexpected_failures() -> Dict[str, KernelStatus]:
+    """Kernels that should be running but are not (candidate degradations)."""
+    return {name: st for name, st in _STATUS.items() if st.unexpected}
+
+
+def forget(name: str) -> None:
+    """Drop the memoized decision (and status) so the next load is fresh."""
+    _LOADED.pop(name, None)
+    _STATUS.pop(name, None)
+
+
+def _fault_injected_selftest_failure(name: str) -> bool:
+    """Whether the active ``REPRO_FAULTS`` plan fails this kernel's self-test."""
+    # Imported at call time: build.py must stay importable before repro.sim
+    # (the kernels' owning modules import it at module scope).
+    from repro.sim.faults import FaultPlan
+
+    return FaultPlan.from_env().kernel_selftest_fails(name)
 
 
 def load_kernel(name: str, source: str, switch_env: str, dir_env: str,
@@ -125,21 +218,53 @@ def load_kernel(name: str, source: str, switch_env: str, dir_env: str,
     attaches ctypes signatures to the loaded library; ``self_test`` must
     return True before the kernel is handed out.  Every failure — missing
     compiler, failed build, binding error, failed or crashing self-test —
-    yields ``None``, and the decision is remembered for the process.
+    yields ``None`` with its reason recorded in :func:`status`; an
+    unexpected failure (anything but the kill switch) warns once per
+    process.  The decision is remembered for the process.
     """
     cached = _LOADED.get(name)
     if cached is not None:
         return cached[0]
+    st = KernelStatus(name=name)
     lib = None
-    if os.environ.get(switch_env, "").strip() != "0":
+    if os.environ.get(switch_env, "").strip() == "0":
+        st.disabled = True
+        st.reason = f"disabled by {switch_env}=0"
+    else:
         try:
             so_path = artifact_path(name, source, dir_env)
-            if so_path is not None and (so_path.exists()
-                                        or compile_source(source, so_path)):
-                candidate = bind(so_path)
-                if self_test(candidate):
-                    lib = candidate
-        except Exception:
+            if so_path is None:
+                st.reason = ("no trusted artifact cache directory "
+                             f"(checked {dir_env}, ~/.cache, per-uid tmp)")
+            else:
+                st.artifact = str(so_path)
+                compile_error = None
+                if not so_path.exists():
+                    compile_error = compile_source(source, so_path)
+                if compile_error is not None:
+                    st.reason = compile_error
+                elif _fault_injected_selftest_failure(name):
+                    st.reason = ("fault-injected self-test failure "
+                                 "(REPRO_FAULTS)")
+                else:
+                    candidate = bind(so_path)
+                    if self_test(candidate):
+                        lib = candidate
+                        st.available = True
+                    else:
+                        st.reason = ("self-test refused the kernel "
+                                     "(output diverged from the Python "
+                                     "reference)")
+        except Exception as exc:
             lib = None
+            st.available = False
+            st.reason = f"loader error: {type(exc).__name__}: {exc}"
+    if st.unexpected and name not in _WARNED:
+        _WARNED.add(name)
+        warnings.warn(
+            f"native kernel {name!r} unavailable — falling back to the "
+            f"pure-Python path (correct but much slower): {st.reason}",
+            RuntimeWarning, stacklevel=2)
     _LOADED[name] = (lib,)
+    _STATUS[name] = st
     return lib

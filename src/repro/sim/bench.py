@@ -371,7 +371,33 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
         record["suite"] = run_suite_cell(seed=seed)
     if include_timecore:
         record["timecore"] = run_timecore_cell(seed=seed)
+    record["kernels"] = kernel_statuses()
+    record["degradations"] = [event.to_dict()
+                              for event in kernel_degradation_events()]
     return record
+
+
+def kernel_statuses() -> Dict[str, Dict[str, object]]:
+    """Both native kernels' load statuses (probing them if not yet decided).
+
+    Recorded on every bench record so a perf number can always be traced to
+    the code path that produced it: a silently-failed kernel build shows up
+    here (and as a degradation event) instead of masquerading as a
+    regression of the hot path itself.
+    """
+    from repro.native import _timecore, build
+
+    _timecore.load()
+    _ffcore.load()
+    return {name: status.to_dict()
+            for name, status in sorted(build.statuses().items())}
+
+
+def kernel_degradation_events():
+    """Unexpected kernel unavailability, as structured degradation events."""
+    from repro.experiments.common import kernel_degradation_events as probe
+
+    return probe()
 
 
 def write_record(record: Dict[str, object],
@@ -494,4 +520,19 @@ def format_summary(record: Dict[str, object]) -> str:
             f"{suite['simulation_batches']} batch(es), "
             f"{suite['wall_seconds']:.2f}s — "
             f"{suite['suite_cells_per_sec']:.2f} cells/sec")
+    kernels = record.get("kernels")
+    if kernels:
+        parts = []
+        for name, status in kernels.items():
+            if status.get("available"):
+                state = "native"
+            elif status.get("disabled"):
+                state = "disabled"
+            else:
+                state = f"UNAVAILABLE ({status.get('reason', 'unknown')})"
+            parts.append(f"{name}={state}")
+        lines.append(f"{'kernels':>13}: " + ", ".join(parts))
+    for event in record.get("degradations") or ():
+        lines.append(f"{'degraded':>13}: {event.get('kind')}: "
+                     f"{event.get('subject')} — {event.get('detail')}")
     return "\n".join(lines)

@@ -16,6 +16,14 @@ reference pipelines are *supposed* to be bit-identical: serving a
 ``REPRO_PIPELINE=reference`` run from a cell the compiled pipeline produced
 (or vice versa) would mask exactly the divergence the reference model exists
 to expose.
+
+Corrupt entries (truncated writes, hand edits, bit rot) are **quarantined**,
+not just treated as misses: the broken file is renamed to ``<key>.corrupt``
+and the event recorded as a :class:`~repro.sim.results.DegradationEvent`
+(drained by the engine into the suite report).  Leaving the file in place
+would make every future run re-parse and re-miss it forever; renaming lets
+the regenerated entry take the key back while preserving the corpse for
+inspection.
 """
 
 from __future__ import annotations
@@ -24,21 +32,24 @@ import dataclasses
 import enum
 import functools
 import hashlib
+import itertools
 import json
 import os
-import tempfile
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, List, Optional, Union
 
 from repro.pipeline.config import MachineConfig
-from repro.sim.results import CellResult
+from repro.sim.faults import FaultPlan
+from repro.sim.results import CellResult, DegradationEvent
 from repro.sim.spec import RunRequest
 
 #: Bump when the on-disk record layout or the fingerprint payload changes.
 #: v2: the payload gained the resolved pipeline (a reference-pipeline run
 #: must never be served a compiled-pipeline cell, or vice versa) and the
 #: request's sampling schedule.
-CACHE_SCHEMA_VERSION = 2
+#: v3: :class:`CellResult` gained the ``failed`` placeholder flag (entries
+#: written by older code lack the field and must not zero-fill it).
+CACHE_SCHEMA_VERSION = 3
 
 #: Default on-disk location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -112,15 +123,26 @@ def request_fingerprint(request: RunRequest,
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+#: Process-wide temp-file serial.  Temp names carry pid + this counter, so
+#: two writers in the same process (threads, re-entrant stores) and writers
+#: in different processes can never collide on a temp path; the final
+#: ``os.replace`` onto the key stays atomic either way.
+_TMP_COUNTER = itertools.count()
+
+
 class ResultCache:
     """On-disk store of :class:`CellResult` records, one JSON file per cell."""
 
-    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR,
+                 faults: Optional[FaultPlan] = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corruptions = 0
+        self.faults = faults if faults is not None else FaultPlan.from_env()
+        self._corruption_events: List[DegradationEvent] = []
 
     # -- keying ---------------------------------------------------------------------
     def key(self, request: RunRequest,
@@ -133,11 +155,15 @@ class ResultCache:
 
     # -- access ---------------------------------------------------------------------
     def load(self, key: str) -> Optional[CellResult]:
-        """Fetch a cached cell, or ``None`` (corrupt entries count as misses).
+        """Fetch a cached cell, or ``None`` (corrupt entries are quarantined).
 
-        An entry missing any :class:`CellResult` field is treated as corrupt
-        rather than zero-filled: a truncated or hand-edited file must fall
-        back to simulation, not masquerade as a cell with zero cycles.
+        A missing file is a plain miss.  An entry that exists but does not
+        parse — or is missing any :class:`CellResult` field — is *corrupt*:
+        a truncated or hand-edited file must fall back to simulation, not
+        masquerade as a cell with zero cycles.  Corrupt files are renamed to
+        ``<key>.corrupt`` (so the regenerated entry takes the key back and
+        this run's report carries a ``cache-corrupt`` degradation event)
+        rather than re-parsed as misses on every future run.
         """
         path = self._path(key)
         try:
@@ -147,23 +173,58 @@ class ResultCache:
                     any(f.name not in data for f in dataclasses.fields(CellResult)):
                 raise ValueError("incomplete cache entry")
             cell = CellResult.from_dict(data)
-        except (OSError, ValueError, TypeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, TypeError) as exc:
+            self._quarantine(path, exc)
             self.misses += 1
             return None
         self.hits += 1
         return cell
 
-    def store(self, key: str, cell: CellResult) -> None:
-        """Persist a cell atomically (write-to-temp then rename)."""
-        path = self._path(key)
-        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+    def _quarantine(self, path: Path, error: Exception) -> None:
+        """Rename a corrupt entry aside and record the degradation."""
+        corpse = path.with_suffix(".corrupt")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(cell.to_dict(), handle, sort_keys=True)
-            os.replace(tmp_name, path)
+            os.replace(path, corpse)
+        except OSError:
+            # Lost a race with another process quarantining (or rewriting)
+            # the same entry — either way the key is no longer corrupt here.
+            return
+        self.corruptions += 1
+        self._corruption_events.append(DegradationEvent(
+            kind="cache-corrupt", subject=path.name,
+            detail=(f"quarantined to {corpse.name}: "
+                    f"{type(error).__name__}: {error}")))
+
+    def drain_corruption_events(self) -> List[DegradationEvent]:
+        """Hand over (and clear) the quarantine events since the last drain."""
+        events, self._corruption_events = self._corruption_events, []
+        return events
+
+    def store(self, key: str, cell: CellResult) -> None:
+        """Persist a cell atomically (write-to-temp then rename).
+
+        The temp name embeds pid + a process-wide counter, so concurrent
+        writers of the same key never collide on the temp path; last
+        ``os.replace`` wins on the key itself, which is safe because every
+        writer of a key writes the same deterministic content.
+        """
+        path = self._path(key)
+        blob = json.dumps(cell.to_dict(), sort_keys=True)
+        if self.faults.corrupts_store(cell.benchmark, cell.configuration):
+            # Injected corruption: persist a torn write (truncated JSON),
+            # exactly what a mid-write power loss leaves behind.
+            blob = blob[:max(1, len(blob) // 3)]
+        tmp = self.root / \
+            f".{key[:24]}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+        try:
+            tmp.write_text(blob, encoding="utf-8")
+            os.replace(tmp, path)
         except BaseException:
             try:
-                os.unlink(tmp_name)
+                os.unlink(tmp)
             except OSError:
                 pass
             raise

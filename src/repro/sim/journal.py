@@ -1,0 +1,156 @@
+"""Completed/failed-cell journal backing ``repro run --resume``.
+
+A long paper-tier suite can be interrupted — runner eviction, Ctrl-C, power
+loss — with most of its cells already simulated.  The persistent result
+cache already makes those cells cheap to reload, but a cache entry is keyed
+on content fingerprints and says nothing about *this run's* progress, and a
+run executed with ``--no-cache`` (or against a cleared cache) has nothing to
+reload at all.  The journal closes that gap: an append-only JSONL file,
+flushed after every cell, recording which fingerprints completed and which
+failed.  On ``--resume`` the engine consults it before simulating and
+replays completed cells straight from the journal record — only the failed
+(or never-reached) cells are re-simulated.
+
+Format: one JSON object per line.  The first line is a header pinning the
+journal schema and the source-tree fingerprint; every later line is either
+
+``{"status": "done", "key": ..., "benchmark": ..., "label": ..., "cell": {...}}``
+    a completed cell with its full :class:`~repro.sim.results.CellResult`,
+``{"status": "failed", "key": ..., "benchmark": ..., "label": ..., "reason": ...}``
+    a quarantined cell (recorded so a resumed run re-simulates it).
+
+Last status wins, so a resumed run that heals a previously-failed cell
+simply appends a ``done`` record.  A truncated final line (the interrupt
+arriving mid-write) is ignored.  A header whose code fingerprint no longer
+matches the source tree marks the journal *stale*: simulation semantics may
+have changed, so the journal is discarded and rewritten rather than served.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO
+
+from repro.sim.cache import code_fingerprint
+from repro.sim.results import CellResult
+
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class RunJournal:
+    """Append-only per-run record of completed and failed cells.
+
+    ``resume=False`` (a fresh run) truncates any existing journal;
+    ``resume=True`` loads the previous run's records first — serving its
+    completed cells via :meth:`completed_cell` — and then appends.  Counters
+    ``served`` / ``recorded`` mirror the cache's hit/store counters for the
+    engine's provenance stats.
+    """
+
+    def __init__(self, path, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.resume = resume
+        self.served = 0
+        self.recorded = 0
+        self.stale = False
+        self._done: Dict[str, CellResult] = {}
+        self._failed: Dict[str, str] = {}
+        self._code = code_fingerprint()
+        if resume:
+            self._load()
+        mode = "a" if resume and not self.stale else "w"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[TextIO] = self.path.open(mode, encoding="utf-8")
+        if mode == "w":
+            self._done.clear()
+            self._failed.clear()
+            self._write({"journal": JOURNAL_SCHEMA_VERSION, "code": self._code})
+
+    def _load(self) -> None:
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except FileNotFoundError:
+            return
+        except OSError:
+            self.stale = True
+            return
+        header: Optional[Dict[str, Any]] = None
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A truncated tail line (interrupted mid-write) is expected;
+                # a garbled line anywhere else means the file is not ours.
+                if index == len(lines) - 1:
+                    continue
+                self.stale = True
+                return
+            if header is None:
+                header = record
+                if record.get("journal") != JOURNAL_SCHEMA_VERSION or \
+                        record.get("code") != self._code:
+                    self.stale = True
+                    return
+                continue
+            key = record.get("key")
+            if not key:
+                continue
+            if record.get("status") == "done" and "cell" in record:
+                try:
+                    self._done[key] = CellResult.from_dict(record["cell"])
+                except (TypeError, ValueError):
+                    continue
+                self._failed.pop(key, None)
+            elif record.get("status") == "failed":
+                self._failed[key] = str(record.get("reason", ""))
+                self._done.pop(key, None)
+        if header is None and lines:
+            self.stale = True
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # Flush per record: the journal's whole point is surviving an
+        # interrupt that arrives between cells.
+        self._handle.flush()
+
+    # -- engine API ------------------------------------------------------------------
+    def completed_cell(self, key: str) -> Optional[CellResult]:
+        """The previous run's result for ``key``, if it completed."""
+        cell = self._done.get(key)
+        if cell is not None:
+            self.served += 1
+        return cell
+
+    def record_done(self, key: str, cell: CellResult) -> None:
+        self._done[key] = cell
+        self._failed.pop(key, None)
+        self.recorded += 1
+        self._write({"status": "done", "key": key, "benchmark": cell.benchmark,
+                     "label": cell.configuration, "cell": cell.to_dict()})
+
+    def record_failed(self, key: str, benchmark: str, label: str,
+                      reason: str) -> None:
+        self._failed[key] = reason
+        self._done.pop(key, None)
+        self._write({"status": "failed", "key": key, "benchmark": benchmark,
+                     "label": label, "reason": reason})
+
+    def failed_cells(self) -> Dict[str, str]:
+        """Fingerprint -> reason for cells whose last record is a failure."""
+        return dict(self._failed)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

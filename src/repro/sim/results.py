@@ -15,6 +15,18 @@ Five records cover the pipeline end to end:
   experiment and for a whole ``repro run`` invocation (with engine/cell
   provenance), which is what the CLI serializes as its JSON artifact.
 
+Two further records carry the resilience layer's verdicts:
+
+* :class:`DegradationEvent` — a structured note that the run silently fell
+  back from its fastest path (a native kernel failed to build or self-test,
+  a crashed worker was retried with kernels disabled, a corrupt cache entry
+  was quarantined).  The run still produced correct numbers — these events
+  exist so "correct but 6× slower" can never pass unnoticed,
+* :class:`CellFailure` — one (benchmark, configuration) cell that exhausted
+  its retry budget.  The suite completes every other cell and exits
+  non-zero; the failure record says which cell, after how many attempts,
+  and why.
+
 All of them round-trip through plain dicts (``to_dict``/``from_dict``) so the
 persistent result cache and any external tooling can store them as JSON.
 """
@@ -29,6 +41,72 @@ def _from_known_fields(cls, data: Dict[str, Any]):
     """Construct a dataclass from a dict, ignoring unknown (future) keys."""
     known = {f.name for f in fields(cls)}
     return cls(**{key: value for key, value in data.items() if key in known})
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One silent-fallback moment, made loud.
+
+    ``kind`` names the recovery path that fired (``kernel-unavailable``,
+    ``native-disabled-retry``, ``worker-crash``, ``cell-timeout``,
+    ``worker-error``, ``cache-corrupt``); ``subject`` is what degraded (a
+    kernel name, a ``benchmark/label`` cell, a cache entry path);
+    ``attempt`` is the 0-based attempt the event occurred on, when it is
+    tied to one; ``detail`` is the human-readable reason.
+    """
+
+    kind: str
+    subject: str
+    attempt: Optional[int] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        where = f"{self.subject}"
+        if self.attempt is not None:
+            where += f" (attempt {self.attempt})"
+        text = f"{self.kind}: {where}"
+        if self.detail:
+            text += f" — {self.detail}"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DegradationEvent":
+        return _from_known_fields(cls, data)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell that exhausted its retry budget and was quarantined.
+
+    The sweep kept going — every other cell completed — but this
+    (benchmark, configuration) coordinate has no real result.  ``attempts``
+    counts executions tried (1 + retries), ``reason`` is the terminal
+    failure class (``worker-crash``, ``cell-timeout``, ``worker-error``),
+    ``detail`` the last error text.
+    """
+
+    benchmark: str
+    label: str
+    attempts: int
+    reason: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        text = (f"{self.benchmark}/{self.label}: {self.reason} after "
+                f"{self.attempts} attempt{'s' if self.attempts != 1 else ''}")
+        if self.detail:
+            text += f" — {self.detail}"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellFailure":
+        return _from_known_fields(cls, data)
 
 
 @dataclass(frozen=True)
@@ -69,6 +147,18 @@ class CellResult:
     shadow_words: int = 0
     data_pages: int = 0
     shadow_pages: int = 0
+    # -- resilience ----------------------------------------------------------------
+    #: True for the all-zero placeholder of a quarantined cell (see
+    #: :meth:`failed_cell`).  Placeholders keep extractors total — every
+    #: benchmark still has a row — while poisoning derived metrics (NaN
+    #: overheads) so a failed cell can never silently pass a paper check.
+    failed: bool = False
+
+    @classmethod
+    def failed_cell(cls, benchmark: str, configuration: str) -> "CellResult":
+        """The placeholder standing in for a quarantined cell's result."""
+        return cls(benchmark=benchmark, configuration=configuration,
+                   failed=True)
 
     @classmethod
     def from_outcome(cls, outcome, label: Optional[str] = None) -> "CellResult":
@@ -357,10 +447,16 @@ class SuiteReport:
     reports: List[ExperimentReport] = field(default_factory=list)
     settings: Dict[str, Any] = field(default_factory=dict)
     engine: Dict[str, Any] = field(default_factory=dict)
+    #: Every silent fallback the run took (kernel unavailable, degraded
+    #: retry, quarantined cache entry, ...) — advisory, does not flip ``ok``.
+    degradations: List[DegradationEvent] = field(default_factory=list)
+    #: Cells that exhausted their retry budget — each one fails the suite.
+    cell_failures: List[CellFailure] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return all(report.ok for report in self.reports)
+        return not self.cell_failures and \
+            all(report.ok for report in self.reports)
 
     def failures(self) -> List[ExperimentReport]:
         return [report for report in self.reports if not report.ok]
@@ -370,6 +466,9 @@ class SuiteReport:
             "ok": self.ok,
             "settings": dict(self.settings),
             "engine": dict(self.engine),
+            "degradations": [event.to_dict() for event in self.degradations],
+            "cell_failures": [failure.to_dict()
+                              for failure in self.cell_failures],
             "experiments": [report.to_dict() for report in self.reports],
         }
 
@@ -380,4 +479,8 @@ class SuiteReport:
                      for report in data.get("experiments", [])],
             settings=dict(data.get("settings", {})),
             engine=dict(data.get("engine", {})),
+            degradations=[DegradationEvent.from_dict(event)
+                          for event in data.get("degradations", [])],
+            cell_failures=[CellFailure.from_dict(failure)
+                           for failure in data.get("cell_failures", [])],
         )

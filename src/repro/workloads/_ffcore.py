@@ -301,3 +301,8 @@ def load():
     return build.load_kernel("ffcore", _SOURCE, switch_env="REPRO_FFCORE",
                              dir_env="REPRO_FFCORE_DIR", bind=_bind,
                              self_test=_self_test)
+
+
+def status():
+    """Why the last :func:`load` decision went the way it did (or ``None``)."""
+    return build.status("ffcore")
