@@ -146,6 +146,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-timecore", action="store_true",
                        help="disable the native timing core (C kernel) "
                             "everywhere and skip its gated matrix cell")
+    bench.add_argument("--no-mix", action="store_true",
+                       help="skip the 4-core multi-core mix cell (timed by "
+                            "default and gated by --check)")
     bench.add_argument("--no-reference", action="store_true",
                        help="skip timing the reference object pipeline")
     bench.add_argument("--output", "-o", metavar="FILE", default=None,
@@ -167,12 +170,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
+    from repro.workloads.profiles import MIXES
+
     print("registered experiments (grid experiments share one merged sweep):")
     for name, definition in REGISTRY.items():
         kind = "grid" if definition.has_grid else "standalone"
         tiers = "/".join(definition.sampling_tiers)
-        print(f"  {name:<10} [{kind}, sampling: {tiers}] "
+        print(f"  {name:<12} [{kind}, sampling: {tiers}] "
               f"{definition.description}")
+    print()
+    print("workload mixes (multi-core benchmark tokens: 'mix1', 'mix1:2', "
+          "'mix1:1@3'):")
+    for mix in MIXES:
+        members = " + ".join(mix.members)
+        print(f"  {mix.name:<12} {members:<28} {mix.description}")
     return 0
 
 
@@ -200,12 +211,27 @@ def _cmd_run(args) -> int:
         # E.g. a paper-scale horizon under a schedule that measures nothing.
         print(f"invalid settings: {error}", file=sys.stderr)
         return 2
+    from repro.workloads.profiles import parse_mix_benchmark
+
     known = set(benchmark_names()) | set(long_profile_names()) \
         | set(paper_profile_names())
-    unknown = [name for name in settings.benchmarks if name not in known]
+    unknown = []
+    for name in settings.benchmarks:
+        if name in known:
+            continue
+        try:
+            # Mix tokens ("mix1", "mix1:2", "mix1:1@3") are valid benchmark
+            # names too; a malformed one gets its specific parse error.
+            if parse_mix_benchmark(name) is not None:
+                continue
+        except ConfigurationError as error:
+            print(f"invalid mix benchmark: {error}", file=sys.stderr)
+            return 2
+        unknown.append(name)
     if unknown:
         print(f"unknown benchmark(s): {', '.join(unknown)}; "
-              f"known: {', '.join(sorted(known))}", file=sys.stderr)
+              f"known: {', '.join(sorted(known))} (plus mix tokens, "
+              f"see `list`)", file=sys.stderr)
         return 2
     if settings.sampling is not None:
         from repro.sim.sampling import SamplingSchedule
@@ -366,6 +392,7 @@ def _run_bench_record(bench, args, kwargs):
         include_paper=not args.no_paper,
         include_suite=not args.no_suite,
         include_timecore=not args.no_timecore,
+        include_mix=not args.no_mix,
         **kwargs)
 
 

@@ -20,6 +20,7 @@ batch, and every summary metric is checked against the paper.
 | ``fig11_bounds_checking`` | Figure 11 — bounds-checking configurations |
 | ``sec92_juliet`` | §9.2 — Juliet CWE-416/562 detection |
 | ``ablations`` | extra ablations (copy elimination, ideal shadow) |
+| ``mix_overhead`` | multi-core mixes — overhead & lock-cache contention |
 """
 
 from typing import Dict
@@ -32,6 +33,7 @@ from repro.experiments import (
     fig9_lock_cache,
     fig10_memory_overhead,
     fig11_bounds_checking,
+    mix_overhead,
     sec92_juliet,
     table1_comparison,
     table2_config,
@@ -57,6 +59,7 @@ REGISTRY: Dict[str, ExperimentDefinition] = {
         fig9_lock_cache.DEFINITION,
         fig10_memory_overhead.DEFINITION,
         fig11_bounds_checking.DEFINITION,
+        mix_overhead.DEFINITION,
         ablations.DEFINITION,
         table1_comparison.DEFINITION,
         table2_config.DEFINITION,
@@ -90,6 +93,7 @@ __all__ = [
     "fig9_lock_cache",
     "fig10_memory_overhead",
     "fig11_bounds_checking",
+    "mix_overhead",
     "sec92_juliet",
     "table1_comparison",
     "table2_config",

@@ -27,6 +27,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.errors import ConfigurationError
 from repro.memory.cache import Cache, CacheConfig
 from repro.memory.prefetcher import PrefetcherConfig, StreamPrefetcher
 from repro.memory.tlb import TLB, TLBConfig
@@ -87,6 +88,15 @@ class HierarchyConfig:
 _STAT_KINDS = ("data", "lock", "lock-on-data", "shadow", "shadow-ideal")
 _STAT_INDEX = {name: i for i, name in enumerate(_STAT_KINDS)}
 
+#: Shared-level (L2 / L3 / lock-location-cache) counters attributed to the
+#: core that issued the access.  On a single-core hierarchy these mirror the
+#: shared caches' own counters; on a multi-core hierarchy each core's stats
+#: carry only its own share of the contention, while the cache objects
+#: accumulate the global totals.
+_SHARED_KEYS = ("l2_hits", "l2_misses", "l3_hits", "l3_misses",
+                "lock_hits", "lock_misses", "lock_evictions",
+                "lock_writebacks")
+
 
 class HierarchyStats:
     """Aggregated access counts by class.
@@ -97,11 +107,16 @@ class HierarchyStats:
     readers see the same shape as before.
     """
 
-    __slots__ = ("_counts", "_latency")
+    __slots__ = ("_counts", "_latency", "shared")
 
     def __init__(self):
         self._counts = [0] * len(_STAT_KINDS)
         self._latency = [0] * len(_STAT_KINDS)
+        #: Per-core attribution of shared-level traffic (see
+        #: :data:`_SHARED_KEYS`).  The demand paths fold into it; warm-up
+        #: traffic is folded only where both the Python and native paths
+        #: count it (L2/L3), and callers reset stats after warming anyway.
+        self.shared = dict.fromkeys(_SHARED_KEYS, 0)
 
     def record(self, kind: str, latency: int) -> None:
         index = _STAT_INDEX[kind]
@@ -135,11 +150,53 @@ class HierarchyStats:
         if not isinstance(other, HierarchyStats):
             return NotImplemented
         return (self._counts == other._counts
-                and self._latency == other._latency)
+                and self._latency == other._latency
+                and self.shared == other.shared)
 
     def __repr__(self) -> str:
         return (f"HierarchyStats(accesses={self.accesses}, "
-                f"total_latency={self.total_latency})")
+                f"total_latency={self.total_latency}, "
+                f"shared={{{', '.join(f'{k}: {v}' for k, v in self.shared.items() if v)}}})")
+
+
+class SharedMemoryBackend:
+    """The shared levels of a (possibly multi-core) memory hierarchy.
+
+    Holds the L2, the inclusive L3, the lock location cache and the L2
+    prefetcher.  A single-core :class:`MemoryHierarchy` builds a private
+    backend implicitly; a multi-core simulation builds one backend and hands
+    it to every core's hierarchy, so the cores contend for the same shared
+    state while keeping their L1s, L1 prefetchers and TLBs private.
+    """
+
+    def __init__(self, config: Optional[HierarchyConfig] = None):
+        self.config = config or HierarchyConfig()
+        self.l2 = Cache(self.config.l2)
+        self.l3 = Cache(self.config.l3)
+        self.lock_cache = Cache(self.config.lock_cache)
+        self.l2_prefetcher = StreamPrefetcher(self.config.l2_prefetcher,
+                                              self.l2)
+
+    def _tc_sync(self) -> None:
+        """Rebuild the shared-level OrderedDicts from the native arenas.
+
+        While any attached core runs native batches, the shared-role arenas
+        (``_tc_shared``) are the authoritative L2/L3/lock-cache state.
+        Popping the dict also invalidates every core's exported
+        ``_tc_state`` (each holds a reference to it — see
+        :func:`repro.native._timecore.attach_state`), so their next native
+        batch re-exports against the rebuilt structures instead of running
+        on arenas that no longer reflect reality.
+        """
+        state = self.__dict__.pop("_tc_shared", None)
+        if state is not None:
+            from repro.native import _timecore
+            _timecore.import_shared_state(state, self)
+
+    def reset_stats(self) -> None:
+        for cache in (self.l2, self.l3, self.lock_cache):
+            cache.reset_stats()
+        self.l2_prefetcher.reset_stats()
 
 
 class MemoryHierarchy:
@@ -151,26 +208,50 @@ class MemoryHierarchy:
     #: ``True`` is merely an explicit "use it when available".
     native_override: Optional[bool] = None
 
-    def __init__(self, config: Optional[HierarchyConfig] = None):
-        self.config = config or HierarchyConfig()
+    def __init__(self, config: Optional[HierarchyConfig] = None,
+                 shared: Optional[SharedMemoryBackend] = None,
+                 core_id: int = 0):
+        if shared is None:
+            shared = SharedMemoryBackend(config)
+        elif config is not None and config != shared.config:
+            raise ConfigurationError(
+                "hierarchy config does not match the shared backend's")
+        self.config = shared.config
+        self.shared = shared
+        self.core_id = core_id
         self.l1d = Cache(self.config.l1d)
-        self.l2 = Cache(self.config.l2)
-        self.l3 = Cache(self.config.l3)
-        self.lock_cache = Cache(self.config.lock_cache)
+        # The shared levels are plain attribute references into the backend:
+        # every existing consumer (hot loops, arena marshalling, stats
+        # readers) sees the same objects whether the backend is private to
+        # this core or contended by several.
+        self.l2 = shared.l2
+        self.l3 = shared.l3
+        self.lock_cache = shared.lock_cache
         self.l1d_prefetcher = StreamPrefetcher(self.config.l1d_prefetcher, self.l1d)
-        self.l2_prefetcher = StreamPrefetcher(self.config.l2_prefetcher, self.l2)
+        self.l2_prefetcher = shared.l2_prefetcher
         self.dtlb = TLB(self.config.l1_tlb)
         self.lock_tlb = TLB(self.config.lock_tlb)
         self.stats = HierarchyStats()
 
     # -- lower levels --------------------------------------------------------
     def _access_beyond_l1(self, address: int, is_write: bool) -> int:
-        """Access L2, then L3, then DRAM; return the added latency."""
+        """Access L2, then L3, then DRAM; return the added latency.
+
+        Besides the shared caches' own (global) counters, the hit/miss is
+        attributed to this core's ``stats.shared`` block — the quantity a
+        multi-core simulation reports per core while the cache objects
+        accumulate totals across all cores.
+        """
+        shared = self.stats.shared
         if self.l2.lookup(address, is_write):
+            shared["l2_hits"] += 1
             return self.config.l2.hit_latency
+        shared["l2_misses"] += 1
         self.l2_prefetcher.on_miss(address)
         if self.l3.lookup(address, is_write):
+            shared["l3_hits"] += 1
             return self.config.l2.hit_latency + self.config.l3.hit_latency
+        shared["l3_misses"] += 1
         return (self.config.l2.hit_latency + self.config.l3.hit_latency
                 + self.config.dram_latency)
 
@@ -178,7 +259,7 @@ class MemoryHierarchy:
     def access(self, address: int, is_write: bool = False,
                port: PortKind = PortKind.DATA) -> int:
         """Perform one access and return its total latency in cycles."""
-        if "_tc_state" in self.__dict__:
+        if self._tc_dirty():
             self._tc_sync()
         if port is PortKind.LOCK and self.config.lock_cache_enabled:
             return self._lock_access(address, is_write)
@@ -207,7 +288,17 @@ class MemoryHierarchy:
 
     def _lock_access(self, address: int, is_write: bool) -> int:
         latency = self.lock_tlb.access(address) + self.config.lock_cache.hit_latency
-        if not self.lock_cache.lookup(address, is_write):
+        lock = self.lock_cache
+        shared = self.stats.shared
+        evictions = lock.evictions
+        writebacks = lock.writebacks
+        if lock.lookup(address, is_write):
+            shared["lock_hits"] += 1
+        else:
+            shared["lock_misses"] += 1
+            # lookup() evicts only on a miss, so the deltas land here.
+            shared["lock_evictions"] += lock.evictions - evictions
+            shared["lock_writebacks"] += lock.writebacks - writebacks
             latency += self._access_beyond_l1(address, is_write)
         self.l3.install(address)
         self.stats.record("lock", latency)
@@ -243,7 +334,7 @@ class MemoryHierarchy:
             if lib is not None:
                 self._batch_native(lib, addrs, specs, positions, lats, True)
                 return
-        if "_tc_state" in self.__dict__:
+        if self._tc_dirty():
             self._tc_sync()
         config = self.config
         lock_en = config.lock_cache_enabled
@@ -400,6 +491,11 @@ class MemoryHierarchy:
         lk.misses += lk_misses
         lk.evictions += lk_evd
         lk.writebacks += lk_wb
+        shared = self.stats.shared
+        shared["lock_hits"] += lk_hits
+        shared["lock_misses"] += lk_misses
+        shared["lock_evictions"] += lk_evd
+        shared["lock_writebacks"] += lk_wb
         l3.evictions += l3_evd
         l3.writebacks += l3_wb
         dtlb.hits += dtlb_hits
@@ -429,7 +525,7 @@ class MemoryHierarchy:
             if lib is not None:
                 self._batch_native(lib, addrs, specs, None, None, False)
                 return
-        if "_tc_state" in self.__dict__:
+        if self._tc_dirty():
             self._tc_sync()
         if isinstance(specs, int):
             specs = itertools.repeat(specs)
@@ -538,20 +634,35 @@ class MemoryHierarchy:
         from repro.native import _timecore
         _timecore.run_batch(lib, self, addrs, specs, positions, lats, collect)
 
+    def _tc_dirty(self) -> bool:
+        """True when native arenas are the authoritative hierarchy state.
+
+        Either this core's private arenas (``_tc_state``) or the backend's
+        shared-level arenas (``_tc_shared``) may be live: with several cores
+        attached to one backend, *another* core's native batch makes the
+        shared L2/L3/lock-cache OrderedDicts stale even if this core never
+        exported private state.
+        """
+        return ("_tc_state" in self.__dict__
+                or "_tc_shared" in self.shared.__dict__)
+
     def _tc_sync(self) -> None:
         """Rebuild the OrderedDict structures from the native arena state.
 
-        After a native batch the int64 arenas (``_tc_state``) are the
-        authoritative cache/TLB/prefetcher state and the OrderedDicts are
-        stale; counters and stats are always exact.  Every Python path that
-        reads or mutates the structures directly syncs first; the compiled
-        flow never needs to (it consumes counters only).  No-op when no
-        native batch has run.
+        After a native batch the int64 arenas are the authoritative
+        cache/TLB/prefetcher state and the OrderedDicts are stale; counters
+        and stats are always exact.  Every Python path that reads or mutates
+        the structures directly syncs first; the compiled flow never needs
+        to (it consumes counters only).  Private roles (L1/TLBs/L1
+        prefetcher) import from this core's state, shared roles from the
+        backend's — the latter invalidating every other core's exported
+        state along the way.  No-op when no native batch has run.
         """
         state = self.__dict__.pop("_tc_state", None)
         if state is not None:
             from repro.native import _timecore
-            _timecore.import_state(state, self)
+            _timecore.import_private_state(state, self)
+        self.shared._tc_sync()
 
     # -- statistics ----------------------------------------------------------
     def lock_cache_mpki(self, instructions: int) -> float:

@@ -602,10 +602,10 @@ def _bind(so_path: Path):
 def pack_stream(stream):
     """The kernel form of a compiled stream, or ``None`` when unpackable.
 
-    Returns ``(words, lat_template, mem_pos, mem_addr, mem_spec)`` as int64
-    arrays, memoized on the stream (streams are shared across the
-    configurations of one class, so every cell after the first reuses the
-    packing).  A µop whose cost or register slots exceed the packed field
+    Returns ``(words, lat_template, mem_pos, mem_addr, mem_spec, core)`` —
+    int64 arrays plus the stream's core id — memoized on the stream
+    (streams are shared across the configurations of one class, so every
+    cell after the first reuses the packing).  A µop whose cost or register slots exceed the packed field
     widths makes the whole stream unpackable — the caller falls back to the
     Python scheduler, which has no such limits.
     """
@@ -631,7 +631,7 @@ def pack_stream(stream):
             i += 1
         packed = (words, array("q", stream.lat_template),
                   array("q", stream.mem_pos), array("q", stream.mem_addr),
-                  array("q", stream.mem_spec))
+                  array("q", stream.mem_spec), getattr(stream, "core", 0))
     except (OverflowError, ValueError, TypeError):
         stream.__dict__["_tc_packed"] = False
         return None
@@ -657,24 +657,30 @@ def _arena(role: str, size: int, zero: bool = True):
     return arena
 
 
-def _hierarchy_parts(h):
-    caches = ((h.l1d, "l1"), (h.l2, "l2"), (h.l3, "l3"), (h.lock_cache, "lk"))
+#: Role names of the shared-level arenas (kept in the backend's
+#: ``_tc_shared`` dict and aliased into every attached core's ``_tc_state``).
+_SHARED_ROLES = ("l2", "l3", "lk", "pf2")
+
+
+def _private_parts(h):
+    """Per-core structures (L1, TLBs, L1 prefetcher) with their role names."""
+    caches = ((h.l1d, "l1"),)
     tlbs = ((h.dtlb, "dtlb"), (h.lock_tlb, "ltlb"))
-    pfs = ((h.l1d_prefetcher, "pf1"), (h.l2_prefetcher, "pf2"))
+    pfs = ((h.l1d_prefetcher, "pf1"),)
     return caches, tlbs, pfs
 
 
-def _export_state(lib, h):
-    """Flatten the hierarchy's OrderedDict state into persistent arenas.
+def _shared_parts(backend):
+    """Shared-level structures (L2/L3/lock cache, L2 prefetcher) by role."""
+    caches = ((backend.l2, "l2"), (backend.l3, "l3"),
+              (backend.lock_cache, "lk"))
+    tlbs = ()
+    pfs = ((backend.l2_prefetcher, "pf2"),)
+    return caches, tlbs, pfs
 
-    The arenas become the *authoritative* copy of the cache/TLB/prefetcher
-    state: subsequent batches run the kernel directly on them with no
-    per-batch marshalling, and the OrderedDicts are only rebuilt if someone
-    asks (``MemoryHierarchy._tc_sync``) — the production flow never does, it
-    reads counters, which are applied back after every batch.
-    """
-    caches, tlbs, pfs = _hierarchy_parts(h)
-    state = {"lib": lib, "cfg": _config_array(h.config)}
+
+def _export_parts(state, caches, tlbs, pfs) -> None:
+    """Flatten the given OrderedDict structures into fresh arenas."""
     for cache, role in caches:
         assoc = cache._assoc
         arena = array("q", bytes(8 * cache._num_sets * assoc))
@@ -700,15 +706,45 @@ def _export_state(lib, h):
             arena[i + 1] = s.direction
             i += 2
         state[role] = arena
+
+
+def _export_state(lib, h):
+    """Flatten the hierarchy's OrderedDict state into persistent arenas.
+
+    The arenas become the *authoritative* copy of the cache/TLB/prefetcher
+    state: subsequent batches run the kernel directly on them with no
+    per-batch marshalling, and the OrderedDicts are only rebuilt if someone
+    asks (``MemoryHierarchy._tc_sync``) — the production flow never does, it
+    reads counters, which are applied back after every batch.
+
+    Private roles (L1/TLBs/L1 prefetcher) get fresh arenas per hierarchy;
+    the shared roles (L2/L3/lock cache/L2 prefetcher) live in one arena set
+    registered on the backend (``_tc_shared``) and are *aliased* into every
+    attached core's state — the kernel then runs all cores' batches against
+    the same shared-level memory, which is exactly the contention a
+    multi-core replay needs.  ``state["shared"]`` keeps the identity of the
+    backend dict the aliases came from, so :func:`attach_state` can detect
+    when a shared-level sync has made them stale.
+    """
+    state = {"lib": lib, "cfg": _config_array(h.config)}
+    _export_parts(state, *_private_parts(h))
+    backend = h.shared
+    tc_shared = backend.__dict__.get("_tc_shared")
+    if tc_shared is None:
+        tc_shared = {"lib": lib}
+        _export_parts(tc_shared, *_shared_parts(backend))
+        backend.__dict__["_tc_shared"] = tc_shared
+    state["shared"] = tc_shared
+    for role in _SHARED_ROLES:
+        state[role] = tc_shared[role]
     return state
 
 
-def import_state(state, h) -> None:
-    """Rebuild the Python OrderedDict structures from the arena state."""
+def _import_parts(state, caches, tlbs, pfs) -> None:
+    """Rebuild the given Python OrderedDict structures from arena state."""
     from repro.memory.prefetcher import _Stream
 
     lib = state["lib"]
-    caches, tlbs, pfs = _hierarchy_parts(h)
     for cache, role in caches:
         assoc = cache._assoc
         nsets = cache._num_sets
@@ -744,6 +780,16 @@ def import_state(state, h) -> None:
                        for i in range(arena[0])]
 
 
+def import_private_state(state, h) -> None:
+    """Rebuild one core's private structures (L1/TLBs/L1 prefetcher)."""
+    _import_parts(state, *_private_parts(h))
+
+
+def import_shared_state(state, backend) -> None:
+    """Rebuild the backend's shared-level structures (L2/L3/lock/pf2)."""
+    _import_parts(state, *_shared_parts(backend))
+
+
 def _config_array(config):
     """The 31-slot int64 config block ``hier_batch`` expects (layout in C)."""
     levels = []
@@ -764,8 +810,21 @@ def _config_array(config):
 
 
 def attach_state(lib, h):
-    """The hierarchy's persistent arena state, exporting it on first use."""
+    """The hierarchy's persistent arena state, exporting it on first use.
+
+    A shared-level sync (:meth:`SharedMemoryBackend._tc_sync`) pops the
+    backend's ``_tc_shared`` dict, which strands the aliases every attached
+    core's state holds.  That staleness is detected here by identity: the
+    private arenas are still authoritative, so they are imported back into
+    the OrderedDicts, and the whole state is re-exported fresh (re-creating
+    — or re-joining — the backend's shared arenas).
+    """
     state = h.__dict__.get("_tc_state")
+    if state is not None \
+            and state["shared"] is not h.shared.__dict__.get("_tc_shared"):
+        import_private_state(state, h)
+        del h.__dict__["_tc_state"]
+        state = None
     if state is None:
         state = h.__dict__["_tc_state"] = _export_state(lib, h)
     return state
@@ -869,6 +928,20 @@ def run_batch(lib, h, addrs, specs, positions, lats, collect: bool) -> None:
     h.lock_tlb.misses += ctr[19]
     h.l1d_prefetcher.prefetches_issued += ctr[20]
     h.l2_prefetcher.prefetches_issued += ctr[21]
+    # Per-core attribution of the shared-level traffic, mirroring the Python
+    # loops exactly: L2/L3 demand counts accumulate during warm-up too (the
+    # Python warm loop routes through _access_beyond_l1), while the lock
+    # counters are collect-gated in the kernel and therefore zero here when
+    # warming — same unconditional fold either way.
+    shared = h.stats.shared
+    shared["l2_hits"] += ctr[4]
+    shared["l2_misses"] += ctr[5]
+    shared["l3_hits"] += ctr[8]
+    shared["l3_misses"] += ctr[9]
+    shared["lock_hits"] += ctr[12]
+    shared["lock_misses"] += ctr[13]
+    shared["lock_evictions"] += ctr[14]
+    shared["lock_writebacks"] += ctr[15]
     if collect:
         names = ("data",
                  "lock" if h.config.lock_cache_enabled else "lock-on-data",

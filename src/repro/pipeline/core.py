@@ -301,10 +301,40 @@ class OutOfOrderCore:
                 result = self._simulate_compiled_native(stream, lib)
                 if result is not None:
                     return result
-        machine = self.machine
         lats = stream.lat_template.copy()
         self.hierarchy.access_batch(stream.mem_addr, stream.mem_spec,
                                     stream.mem_pos, lats)
+        return self._schedule_python(stream, lats)
+
+    def schedule_compiled(self, stream, lats) -> TimingResult:
+        """Run only the scheduler pass over an already-filled latency array.
+
+        The fused :meth:`simulate_compiled` replays the hierarchy and
+        schedules in one call; a multi-core simulation instead interleaves
+        the cores' hierarchy replays in epochs (so shared-level contention
+        is ordered across cores) and then schedules each core's stream over
+        the latencies its epochs produced.  Scheduling is per-core state
+        only, so given equal latencies the result is bit-identical to the
+        fused path — on the native and the Python scheduler alike.
+        """
+        if self.timecore is not False:
+            from repro.native import _timecore
+            lib = _timecore.load()
+            machine = self.machine
+            if lib is not None and min(
+                    machine.rob_entries, machine.iq_entries,
+                    machine.lq_entries, machine.sq_entries,
+                    machine.dispatch_width, machine.commit_width) >= 1:
+                packed = _timecore.pack_stream(stream)
+                if packed is not None:
+                    if not (isinstance(lats, array) and lats.typecode == "q"):
+                        lats = array("q", lats)
+                    return self._schedule_native(stream, packed[0], lats, lib)
+        return self._schedule_python(stream, lats)
+
+    def _schedule_python(self, stream, lats) -> TimingResult:
+        """Pass 2 of :meth:`simulate_compiled`: the Python array scheduler."""
+        machine = self.machine
 
         # kind code -> port-pool index, honouring the Watchdog configuration
         # (check µops fall back to the data load ports without a lock cache).
@@ -505,13 +535,21 @@ class OutOfOrderCore:
         packed = _timecore.pack_stream(stream)
         if packed is None:
             return None
-        words, lat_template, mem_pos, mem_addr, mem_spec = packed
+        words, lat_template, mem_pos, mem_addr, mem_spec, _core = packed
 
         lats = lat_template[:]
         if len(mem_addr):
             self.hierarchy._batch_native(lib, mem_addr, mem_spec, mem_pos,
                                          lats, True)
+        return self._schedule_native(stream, words, lats, lib)
 
+    def _schedule_native(self, stream, words, lats, lib) -> TimingResult:
+        """Pass 2 of :meth:`_simulate_compiled_native`: the C scheduler.
+
+        ``words`` is the packed µop array from ``pack_stream``; ``lats`` the
+        post-hierarchy int64 latency array.
+        """
+        machine = self.machine
         pools = list(self.units.all_pools().values())
         pool_index = {id(pool): i for i, pool in enumerate(pools)}
         pool_map = array("q", bytes(8 * len(UopKind)))

@@ -70,6 +70,19 @@ FAST_FORWARD_BENCHMARK = "mcf-long"
 FAST_FORWARD_OPS = 8_000_000
 FAST_FORWARD_QUICK_OPS = 2_000_000
 
+#: The multi-core mix cell: the most memory-intensive 4-app bundle replayed
+#: through :class:`~repro.sim.multicore.MultiCoreSimulator` under the
+#: unprotected baseline and the headline ISA-assisted configuration.  Gated
+#: in CI via ``mix_uops_per_sec`` — the epoch-interleaved shared-hierarchy
+#: replay is a new hot path with its own regression budget.
+MIX_BENCHMARK = "mix1"
+MIX_INSTRUCTIONS = DEFAULT_INSTRUCTIONS
+MIX_QUICK_INSTRUCTIONS = QUICK_INSTRUCTIONS
+MIX_CONFIGS: Tuple[Tuple[str, WatchdogConfig], ...] = (
+    ("baseline", WatchdogConfig.disabled()),
+    ("isa-assisted", WatchdogConfig.isa_assisted_uaf()),
+)
+
 #: The paper-scale smoke cell: one ``*-paper`` benchmark over the full 100M
 #: instruction horizon under a §9.1 schedule that keeps the timed portion
 #: smoke-test sized (0.2% measured, 4 periods).  Its completion inside the
@@ -261,6 +274,51 @@ def run_timecore_cell(benchmarks: Optional[Sequence[str]] = None,
     }
 
 
+def run_mix_cell(mix_token: str = MIX_BENCHMARK,
+                 instructions: int = MIX_INSTRUCTIONS,
+                 seed: int = DEFAULT_SEED,
+                 machine: Optional[MachineConfig] = None) -> Dict[str, object]:
+    """Time one 4-core mix cell pair (baseline + ISA-assisted Watchdog).
+
+    Member bundles are generated under the same per-member derived seeds the
+    sweep engine uses, so the cell exercises exactly the ``repro run``
+    multi-core path: sequential per-core warm-up, then the epoch-interleaved
+    replay against the shared L2/L3/lock-cache backend.  The gated figure is
+    µops per second of *simulate* wall time (generation reported
+    separately), summed over both configurations and all cores.
+    """
+    from repro.sim.multicore import MultiCoreSimulator
+    from repro.workloads.profiles import mix_member_seed, parse_mix_benchmark
+
+    mix, members = parse_mix_benchmark(mix_token)
+    t0 = time.perf_counter()
+    bundles = [TraceBundle.generate(profile_name,
+                                    seed=mix_member_seed(mix.name,
+                                                         member_index, seed),
+                                    instructions=instructions)
+               for member_index, profile_name in members]
+    generate_wall = time.perf_counter() - t0
+    simulator = MultiCoreSimulator(machine=machine, pipeline=PIPELINE_COMPILED)
+    total_uops = 0
+    t0 = time.perf_counter()
+    for _, config in MIX_CONFIGS:
+        outcome = simulator.run_mix(mix_token, bundles, config)
+        total_uops += outcome.timing.total_uops
+    simulate_wall = time.perf_counter() - t0
+    return {
+        "mix": mix_token,
+        "members": [profile_name for _, profile_name in members],
+        "cores": len(members),
+        "instructions": instructions,
+        "configurations": [label for label, _ in MIX_CONFIGS],
+        "total_uops": total_uops,
+        "generate_seconds": round(generate_wall, 4),
+        "simulate_seconds": round(simulate_wall, 4),
+        "mix_uops_per_sec": round(total_uops / simulate_wall, 1)
+        if simulate_wall else 0.0,
+    }
+
+
 def run_suite_cell(seed: int = DEFAULT_SEED, quick: bool = True) -> Dict[str, object]:
     """Time the full registered experiment suite through the generic runner.
 
@@ -308,7 +366,8 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
               include_fast_forward: bool = True,
               include_paper: bool = True,
               include_suite: bool = True,
-              include_timecore: bool = True) -> Dict[str, object]:
+              include_timecore: bool = True,
+              include_mix: bool = True) -> Dict[str, object]:
     """Run the benchmark (optionally under both pipelines) and summarize.
 
     ``instructions=None`` selects the scale implied by ``quick``; an
@@ -323,7 +382,9 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
     (:func:`run_suite_cell`, always at quick scale), and
     ``include_timecore`` the native-timing-core matrix cell
     (:func:`run_timecore_cell` — like the paper cell, never scaled down by
-    ``quick``: the ``kernel_uops_per_sec`` floor describes the full matrix).
+    ``quick``: the ``kernel_uops_per_sec`` floor describes the full matrix),
+    and ``include_mix`` the 4-core mix cell (:func:`run_mix_cell`, scaled
+    down by ``quick``) gating the shared-hierarchy interleaved replay.
     """
     if quick:
         benchmarks = tuple(benchmarks or QUICK_BENCHMARKS)
@@ -371,6 +432,10 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
         record["suite"] = run_suite_cell(seed=seed)
     if include_timecore:
         record["timecore"] = run_timecore_cell(seed=seed)
+    if include_mix:
+        record["mix"] = run_mix_cell(
+            instructions=MIX_QUICK_INSTRUCTIONS if quick
+            else MIX_INSTRUCTIONS, seed=seed)
     record["kernels"] = kernel_statuses()
     record["degradations"] = [event.to_dict()
                               for event in kernel_degradation_events()]
@@ -417,11 +482,12 @@ def check_against_baseline(record: Dict[str, object], baseline_path: str,
     ``uops_per_sec`` (typically measured on the slowest supported runner
     class); the check fails when throughput drops more than
     ``max_regression`` below it.  ``sampled_uops_per_sec``,
-    ``fast_forward_ops_per_sec``, ``paper_sampled_uops_per_sec`` and
-    ``suite_cells_per_sec`` and ``kernel_uops_per_sec`` baseline entries
-    additionally gate the sampled long-profile cell, the skip-window-only
-    fast-forward cell, the 100M paper-scale cell, the merged registry suite
-    cell and the native-timecore matrix cell the same way.
+    ``fast_forward_ops_per_sec``, ``paper_sampled_uops_per_sec``,
+    ``suite_cells_per_sec``, ``kernel_uops_per_sec`` and
+    ``mix_uops_per_sec`` baseline entries additionally gate the sampled
+    long-profile cell, the skip-window-only fast-forward cell, the 100M
+    paper-scale cell, the merged registry suite cell, the native-timecore
+    matrix cell and the 4-core mix cell the same way.
     """
     data = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
     checks = [("matrix", float(data["uops_per_sec"]),
@@ -437,6 +503,7 @@ def check_against_baseline(record: Dict[str, object], baseline_path: str,
         ("suite", "suite_cells_per_sec", "suite_cells_per_sec", "cells/sec"),
         ("timecore", "kernel_uops_per_sec", "kernel_uops_per_sec",
          "uops/sec"),
+        ("mix", "mix_uops_per_sec", "mix_uops_per_sec", "uops/sec"),
     )
     for name, baseline_key, record_key, unit in optional_gates:
         floor = data.get(baseline_key)
@@ -511,6 +578,17 @@ def format_summary(record: Dict[str, object]) -> str:
             f"{timecore['wall_seconds']:.2f}s) — "
             f"{timecore['kernel_uops_per_sec']:,.0f} uops/sec in kernel "
             f"({'native kernel' if timecore['accelerated'] else 'pure python'})")
+    mix = record.get("mix")
+    if mix:
+        lines.append(
+            f"{'mix':>13}: {mix['mix']} ({mix['cores']} cores: "
+            f"{'+'.join(mix['members'])}), "
+            f"{mix['instructions']} instructions/core, "
+            f"{mix['total_uops']:,} uops over "
+            f"{len(mix['configurations'])} configs — "
+            f"{mix['mix_uops_per_sec']:,.0f} uops/sec "
+            f"(generate {mix['generate_seconds']:.2f}s, "
+            f"simulate {mix['simulate_seconds']:.2f}s)")
     suite = record.get("suite")
     if suite:
         lines.append(

@@ -49,7 +49,10 @@ from repro.sim.spec import RunRequest
 #: request's sampling schedule.
 #: v3: :class:`CellResult` gained the ``failed`` placeholder flag (entries
 #: written by older code lack the field and must not zero-fill it).
-CACHE_SCHEMA_VERSION = 3
+#: v4: multi-core mixes — :class:`CellResult` gained the per-core ``cores``
+#: blocks and benchmark names may now be mix tokens, both changing the
+#: record layout and the cell input space.
+CACHE_SCHEMA_VERSION = 4
 
 #: Default on-disk location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"

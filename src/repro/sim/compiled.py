@@ -212,6 +212,9 @@ class CompiledStream:
     pointer: PointerIdStats
     pages: PageAccountant
     class_key: tuple
+    #: Which core replays this stream (0 in single-core simulation; a
+    #: multi-core mix relabels each member's stream with its core index).
+    core: int = 0
 
     def __len__(self) -> int:
         return len(self.uops)
@@ -625,7 +628,7 @@ def warm_working_set(hierarchy, ws: WorkingSetArrays,
     metadata is maintained and not idealized), then lock locations, then
     data lines — so data ends up most-recently-used in every level.
     """
-    if "_tc_state" in hierarchy.__dict__:
+    if hierarchy._tc_dirty():
         hierarchy._tc_sync()  # installs below mutate the Python structures
     shadow = ws.shadow if (config.enabled and not config.ideal_shadow) else ()
     locks = ws.locks if config.enabled else ()

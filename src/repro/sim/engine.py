@@ -224,6 +224,11 @@ def execute_job(job: BenchmarkJob,
 def _execute_job_cells(job: BenchmarkJob,
                        machine: Optional[MachineConfig],
                        sample_pool: Optional[ProcessPoolExecutor]) -> List[CellResult]:
+    from repro.workloads.profiles import parse_mix_benchmark
+
+    parsed = parse_mix_benchmark(job.benchmark)
+    if parsed is not None:
+        return _execute_mix_job(job, parsed, machine)
     bundle = _bundle_for(job)
     if bundle.samples:
         if sample_pool is not None and len(bundle.samples) > 1:
@@ -233,6 +238,33 @@ def _execute_job_cells(job: BenchmarkJob,
     results: List[CellResult] = []
     for label, config in job.cells:
         outcome = simulator.run_bundle(bundle, config)
+        results.append(CellResult.from_outcome(outcome, label=label))
+    return results
+
+
+def _execute_mix_job(job: BenchmarkJob, parsed,
+                     machine: Optional[MachineConfig]) -> List[CellResult]:
+    """Run one multi-core mix job: member bundles on one shared backend.
+
+    Each member's trace is an ordinary benchmark bundle generated under its
+    deterministically derived seed, so it flows through (and shares) the
+    per-process ``_BUNDLES`` memo exactly like a solo cell of the same
+    (profile, derived seed) — which is what makes a one-core mix resolve to
+    the very same trace a solo run would time.
+    """
+    from repro.sim.multicore import MultiCoreSimulator
+    from repro.workloads.profiles import mix_member_seed
+
+    mix, members = parsed
+    bundles = [
+        _bundle_for(dataclasses.replace(
+            job, benchmark=profile_name,
+            seed=mix_member_seed(mix.name, member_index, job.seed)))
+        for member_index, profile_name in members]
+    simulator = MultiCoreSimulator(machine, pipeline=job.pipeline)
+    results: List[CellResult] = []
+    for label, config in job.cells:
+        outcome = simulator.run_mix(job.benchmark, bundles, config)
         results.append(CellResult.from_outcome(outcome, label=label))
     return results
 

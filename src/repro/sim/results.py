@@ -34,7 +34,7 @@ persistent result cache and any external tooling can store them as JSON.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 
 def _from_known_fields(cls, data: Dict[str, Any]):
@@ -110,6 +110,49 @@ class CellFailure:
 
 
 @dataclass(frozen=True)
+class CoreResult:
+    """Per-core block of a multi-core mix cell.
+
+    One record per core of a :class:`MultiCoreSimulator` run: the core's own
+    timing counters plus its attributed share of the shared-level traffic
+    (L2/L3/lock-cache hits and misses charged to the core that issued the
+    access — the cache objects themselves only hold cross-core totals).
+    """
+
+    core: int
+    benchmark: str
+    cycles: int = 0
+    total_uops: int = 0
+    injected_uops: int = 0
+    macro_instructions: int = 0
+    memory_accesses: int = 0
+    l1d_misses: int = 0
+    lock_cache_misses: int = 0
+    # -- attributed shared-level traffic ------------------------------------------
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l3_hits: int = 0
+    l3_misses: int = 0
+    lock_evictions: int = 0
+    lock_writebacks: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.total_uops / self.cycles if self.cycles else 0.0
+
+    def lock_cache_mpki(self) -> float:
+        """This core's attributed lock-cache misses per 1000 µops."""
+        return 1000.0 * self.lock_cache_misses / max(self.total_uops, 1)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CoreResult":
+        return _from_known_fields(cls, data)
+
+
+@dataclass(frozen=True)
 class CellResult:
     """Flat summary of one simulated (benchmark, configuration) cell.
 
@@ -153,6 +196,12 @@ class CellResult:
     #: benchmark still has a row — while poisoning derived metrics (NaN
     #: overheads) so a failed cell can never silently pass a paper check.
     failed: bool = False
+    # -- multi-core ----------------------------------------------------------------
+    #: Per-core blocks of a mix cell (empty for single-core cells).  The
+    #: top-level counters then aggregate across cores with ``cycles`` being
+    #: the *slowest* core's cycles — the wall time of the multiprogrammed
+    #: run.
+    cores: Tuple[CoreResult, ...] = ()
 
     @classmethod
     def failed_cell(cls, benchmark: str, configuration: str) -> "CellResult":
@@ -191,6 +240,7 @@ class CellResult:
             shadow_words=pages.shadow_word_count if pages else 0,
             data_pages=pages.data_page_count if pages else 0,
             shadow_pages=pages.shadow_page_count if pages else 0,
+            cores=tuple(getattr(outcome, "cores", ()) or ()),
         )
 
     # -- derived values (what the figure drivers read) ------------------------------
@@ -238,10 +288,20 @@ class CellResult:
 
     # -- JSON round-trip -------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        data = asdict(self)
+        data["cores"] = [core.to_dict() for core in self.cores]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CellResult":
+        if "cores" in data:
+            # Normalize to a tuple of CoreResult so the record stays hashable
+            # whether it came from JSON (list of dicts) or a live copy.
+            data = dict(data)
+            data["cores"] = tuple(
+                core if isinstance(core, CoreResult)
+                else CoreResult.from_dict(core)
+                for core in data["cores"] or ())
         return _from_known_fields(cls, data)
 
 

@@ -47,6 +47,9 @@ class SimulationOutcome:
     pointer_stats: Optional[PointerIdStats] = None
     pages: Optional[PageAccountant] = None
     detection: Optional[ExecutionResult] = None
+    #: Per-core :class:`~repro.sim.results.CoreResult` blocks of a
+    #: multi-core mix run (empty for single-core runs).
+    cores: tuple = ()
 
     @property
     def cycles(self) -> int:

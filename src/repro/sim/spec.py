@@ -255,6 +255,17 @@ class RunRequest:
             raise ConfigurationError(
                 "warmup_instructions cannot be combined with a sampling "
                 "schedule: the schedule's warm-up windows apply")
+        if self.sampling is not None:
+            # Mix tokens ("mix1", "mix3:2@1", …) ride in the benchmark slot;
+            # sampled windows have no cross-core interleaving order, so the
+            # combination must fail at spec construction, not mid-sweep.
+            from repro.workloads.profiles import parse_mix_benchmark
+
+            if parse_mix_benchmark(self.benchmark) is not None:
+                raise ConfigurationError(
+                    f"benchmark {self.benchmark!r} is a multi-core mix, "
+                    f"which cannot be combined with a §9.1 sampling "
+                    f"schedule — mixes measure their full horizon")
 
     @property
     def key(self) -> Tuple[str, str]:

@@ -24,8 +24,9 @@ equake) incur little.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -183,3 +184,109 @@ def long_profile_names() -> List[str]:
 def paper_profile_names() -> List[str]:
     """Names of the paper-scale (100M-horizon) profiles."""
     return [profile.name for profile in PAPER_PROFILES]
+
+
+# -- multi-core workload mixes ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A multiprogrammed bundle of §9.1 profiles, one per core."""
+
+    name: str
+    #: Member profile names in core order (core *i* runs ``members[i]``).
+    members: Tuple[str, ...]
+    description: str
+
+    def __post_init__(self) -> None:
+        for member in self.members:
+            if member not in _BY_NAME:
+                raise ConfigurationError(
+                    f"mix {self.name}: unknown member profile {member!r}")
+
+
+# Members are ordered by a memory-intensity proxy (working-set bytes ×
+# (1 − temporal locality) × memory fraction — the quantity that tracks MPKI
+# in this model): mix1 takes the four most intensive profiles, mix5 the four
+# least, and mix6/mix7 blend the extremes, in the mix1–mix7 style of
+# multiprogrammed SPEC studies.
+MIXES: Tuple[WorkloadMix, ...] = (
+    WorkloadMix("mix1", ("lbm", "milc", "art", "mcf"),
+                "four most memory-intensive profiles"),
+    WorkloadMix("mix2", ("equake", "gcc", "twolf", "perl"),
+                "high-intensity pointer-chasing profiles"),
+    WorkloadMix("mix3", ("vpr", "mesa", "ijpeg", "ammp"),
+                "mid-intensity profiles"),
+    WorkloadMix("mix4", ("h264", "bzip2", "hmmer", "gobmk"),
+                "lower-mid-intensity profiles"),
+    WorkloadMix("mix5", ("go", "sjeng", "gzip", "comp"),
+                "four least memory-intensive profiles"),
+    WorkloadMix("mix6", ("lbm", "mcf", "gzip", "comp"),
+                "two most + two least intensive profiles"),
+    WorkloadMix("mix7", ("milc", "gcc", "go", "bzip2"),
+                "one profile from each intensity quartile"),
+)
+
+_MIX_BY_NAME: Dict[str, WorkloadMix] = {mix.name: mix for mix in MIXES}
+
+
+def mix_names() -> List[str]:
+    """Mix names in definition (intensity) order."""
+    return [mix.name for mix in MIXES]
+
+
+def mix_by_name(name: str) -> WorkloadMix:
+    try:
+        return _MIX_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(mix_names())
+        raise ConfigurationError(
+            f"unknown mix {name!r}; known: {known}") from None
+
+
+def parse_mix_benchmark(token: str):
+    """Decode a mix benchmark token, or ``None`` for an ordinary benchmark.
+
+    Grammar: ``mixK`` runs every member; ``mixK:N`` the first *N* members;
+    ``mixK:N@S`` *N* members starting at member index *S* (so ``mix1:1@2``
+    is member 2 of mix1 running solo).  Returns ``(mix, members)`` where
+    ``members`` is a tuple of ``(member_index, profile_name)`` pairs, one
+    per core in core order — member indices (not core slots) key the
+    per-member seed derivation, so a member keeps its workload whether it
+    runs solo or inside the full mix.
+    """
+    name, sep, suffix = token.partition(":")
+    mix = _MIX_BY_NAME.get(name)
+    if mix is None:
+        if name.startswith("mix") and name not in _BY_NAME:
+            raise ConfigurationError(
+                f"unknown mix {name!r}; known: {', '.join(mix_names())}")
+        return None
+    start, count = 0, len(mix.members)
+    if sep:
+        head, at, tail = suffix.partition("@")
+        try:
+            count = int(head)
+            if at:
+                start = int(tail)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad mix token {token!r}: expected mixK, mixK:N or "
+                f"mixK:N@S") from None
+        if count < 1 or start < 0 or start + count > len(mix.members):
+            raise ConfigurationError(
+                f"bad mix token {token!r}: {mix.name} has "
+                f"{len(mix.members)} members")
+    members = tuple((start + j, mix.members[start + j]) for j in range(count))
+    return mix, members
+
+
+def mix_member_seed(mix_name: str, member_index: int, base_seed: int) -> int:
+    """Deterministic per-member seed, derived like PR 1's benchmark seeds.
+
+    Folding a crc32 of ``mix#member`` into the base seed decorrelates the
+    members' synthetic traces (identical seeds would phase-lock identical
+    profiles) while keeping every mix reproducible across runs and worker
+    pools.
+    """
+    tag = f"{mix_name}#{member_index}".encode()
+    return base_seed ^ (zlib.crc32(tag) & 0xFFFF)

@@ -38,15 +38,22 @@ STANDALONE = [name for name, d in REGISTRY.items() if not d.has_grid]
 class TestRegistry:
     def test_every_experiment_is_registered(self):
         assert set(REGISTRY) == {"fig5", "fig7", "fig8", "fig9", "fig10",
-                                 "fig11", "ablations", "table1", "table2",
-                                 "juliet"}
+                                 "fig11", "mix_overhead", "ablations",
+                                 "table1", "table2", "juliet"}
         assert set(GRID_EXPERIMENTS) == {"fig5", "fig7", "fig8", "fig9",
-                                         "fig10", "fig11", "ablations"}
+                                         "fig10", "fig11", "mix_overhead",
+                                         "ablations"}
 
     def test_definitions_declare_expectations(self):
         for name, definition in REGISTRY.items():
             assert definition.name == name
             assert definition.description
+            if name == "mix_overhead":
+                # Extends the paper (whose evaluation is single-core)
+                # rather than reproducing a figure: no expected values by
+                # design, pinned instead by tests/test_multicore.py.
+                assert not definition.expected
+                continue
             assert definition.expected, f"{name} declares no expected values"
 
     def test_get_definition_rejects_unknown(self):
@@ -212,7 +219,13 @@ class TestGoldenQuickSampling:
     def sampled_suite(self):
         settings = ExperimentSettings(sampling=SamplingConfig.quick(),
                                       **GOLDEN_SETTINGS)
-        return run_experiments(list(REGISTRY), settings=settings)
+        # mix_overhead is excluded: mixes measure their full horizon
+        # unsampled, so at the 120k golden horizon the full mix1-mix7
+        # family is a multi-minute run.  The mix family has its own
+        # quick-scale golden pin in tests/test_multicore.py.
+        return run_experiments([name for name in REGISTRY
+                                if name != "mix_overhead"],
+                               settings=settings)
 
     def test_registry_names_match_golden(self, sampled_suite):
         assert {r.name for r in sampled_suite.reports} == set(GOLDEN)
