@@ -326,7 +326,10 @@ class MemoryHierarchy:
 
         When the native timing core is available (and not overridden off),
         the whole batch is replayed by the C kernel instead — with identical
-        results by construction (see :mod:`repro.native._timecore`).
+        results by construction (see :mod:`repro.native._timecore`).  The
+        stream compiler hands in ``array("q")`` columns, which the kernel
+        consumes with zero per-batch marshalling; any other sequence type
+        is converted on entry.
         """
         if len(addrs) and self.native_override is not False:
             from repro.native import _timecore
@@ -656,7 +659,11 @@ class MemoryHierarchy:
         to (it consumes counters only).  Private roles (L1/TLBs/L1
         prefetcher) import from this core's state, shared roles from the
         backend's — the latter invalidating every other core's exported
-        state along the way.  No-op when no native batch has run.
+        state along the way.  Importing also returns the state's pooled
+        arenas (see ``_timecore._ARENAS``), so the next fresh hierarchy's
+        export reuses them instead of allocating and zeroing new ones —
+        the same release a dying hierarchy triggers via its finalizer.
+        No-op when no native batch has run.
         """
         state = self.__dict__.pop("_tc_state", None)
         if state is not None:

@@ -20,10 +20,14 @@ The kernel consumes exactly the structures the Python loops consume:
   ``lats`` and counter deltas into a counter block.  One entry point serves
   both the counted (``access_batch``) and warm-up (``warm_batch``) variants,
   toggled by the ``collect`` config slot.
-* ``sched_run`` — per-µop words packed by :func:`pack_stream` (flags, cost
-  and the six register-slot operands in one int64 each), the post-hierarchy
-  latency array, the flattened port-pool free times, and ring buffers for
-  the ROB/IQ/LQ/SQ occupancy queues.
+* ``sched_run`` — per-µop words (flags, cost and the six register-slot
+  operands in one int64 each), the post-hierarchy latency array, the
+  flattened port-pool free times, and ring buffers for the ROB/IQ/LQ/SQ
+  occupancy queues.  The stream compiler emits these words directly
+  (:meth:`repro.sim.compiled.StreamCompiler.compile_measured`), so
+  :func:`pack_stream` is normally just a view; streams that predate the
+  flat form (or hand-built test streams) are packed through the
+  ``pack_words`` entry point, or the Python loop when no kernel is loaded.
 
 Both are replicas of the Python loops, statement for statement — every
 counter, LRU movement, latency and stall decision lands on the same value,
@@ -36,6 +40,7 @@ or a failed self-test all fall back to the Python loops silently.
 from __future__ import annotations
 
 import ctypes
+import weakref
 from array import array
 from collections import OrderedDict
 from pathlib import Path
@@ -379,6 +384,29 @@ long long warm_fill(i64 *ways, i64 nsets, i64 assoc, i64 block_bytes,
     return 0;
 }
 
+/* pack_stream's per-row packing for legacy tuple streams: rows holds n
+ * consecutive (flags, cost, dest, s0, s1, md, ms0, ms1) octets; each row
+ * becomes one packed word in out (format documented at sched_run below).
+ * Returns 0, or -1 as soon as any field exceeds its width — the caller
+ * then marks the stream tuple-only and the Python scheduler (which has no
+ * field-width limits) takes over, exactly as the Python packer does. */
+long long pack_words(const long long *rows, long long n, long long *out)
+{
+    i64 k;
+    for (k = 0; k < n; k++) {
+        const i64 *r = rows + 8 * k;
+        i64 flags = r[0], cost = r[1];
+        i64 d = r[2] + 1, a = r[3] + 1, b = r[4] + 1;
+        i64 m = r[5] + 1, x = r[6] + 1, y = r[7] + 1;
+        if ((d | a | b | m | x | y) & ~63LL || flags & ~511LL
+                || cost & ~63LL)
+            return -1;
+        out[k] = flags | cost << 9 | d << 15 | a << 21 | b << 27
+                 | m << 33 | x << 39 | y << 45;
+    }
+    return 0;
+}
+
 /* OutOfOrderCore.simulate_compiled's integer scheduler.
  *
  * uops[k] packs one µop (pack_stream): bits 0-8 flags (kind code | LQ 32 |
@@ -594,28 +622,24 @@ def _bind(so_path: Path):
     lib.occ_scan.argtypes = [p, q, q, p]
     lib.warm_fill.restype = q
     lib.warm_fill.argtypes = [p, q, q, q, q, p]
+    lib.pack_words.restype = q
+    lib.pack_words.argtypes = [p, q, p]
     lib.sched_run.restype = q
     lib.sched_run.argtypes = [p, p, p, q] + [p] * 11
     return lib
 
 
-def pack_stream(stream):
-    """The kernel form of a compiled stream, or ``None`` when unpackable.
+def pack_entry_words(uops):
+    """Pack per-µop tuples into kernel words, or ``None`` on overflow.
 
-    Returns ``(words, lat_template, mem_pos, mem_addr, mem_spec, core)`` —
-    int64 arrays plus the stream's core id — memoized on the stream
-    (streams are shared across the configurations of one class, so every
-    cell after the first reuses the packing).  A µop whose cost or register slots exceed the packed field
-    widths makes the whole stream unpackable — the caller falls back to the
-    Python scheduler, which has no such limits.
+    The pure-Python packer: used by the stream compiler to pre-pack each
+    template's entries at build time, and by :func:`pack_stream` for legacy
+    tuple streams when no kernel is loaded.
     """
-    cached = stream.__dict__.get("_tc_packed")
-    if cached is not None:
-        return cached or None
-    words = array("q", bytes(8 * len(stream.uops)))
+    words = array("q", bytes(8 * len(uops)))
     i = 0
     try:
-        for flags, cost, dest, s0, s1, md, ms0, ms1 in stream.uops:
+        for flags, cost, dest, s0, s1, md, ms0, ms1 in uops:
             d = dest + 1
             a = s0 + 1
             b = s1 + 1
@@ -625,36 +649,131 @@ def pack_stream(stream):
             # Nonzero iff any slot is outside 0..63 (i.e. -1..62 pre-shift),
             # flags outside 0..511 or cost outside 0..63.
             if (d | a | b | m | x | y) & -64 or flags & -512 or cost & -64:
-                raise OverflowError
+                return None
             words[i] = (flags | cost << 9 | d << 15 | a << 21 | b << 27
                         | m << 33 | x << 39 | y << 45)
             i += 1
-        packed = (words, array("q", stream.lat_template),
-                  array("q", stream.mem_pos), array("q", stream.mem_addr),
-                  array("q", stream.mem_spec), getattr(stream, "core", 0))
     except (OverflowError, ValueError, TypeError):
+        return None
+    return words
+
+
+def _pack_rows_native(lib, uops):
+    """Pack per-µop tuples through the C ``pack_words`` entry point."""
+    try:
+        rows = array("q")
+        extend = rows.extend
+        for entry in uops:
+            extend(entry)
+        if len(rows) != 8 * len(uops):
+            return None
+    except (OverflowError, ValueError, TypeError):
+        return None
+    out = array("q", bytes(8 * len(uops)))
+    if lib.pack_words(rows.buffer_info()[0], len(uops),
+                      out.buffer_info()[0]):
+        return None
+    return out
+
+
+def unpack_words(words):
+    """Per-µop ``(flags, cost, dest, s0, s1, md, ms0, ms1)`` tuples of
+    packed kernel words (the inverse of :func:`pack_entry_words`)."""
+    return [(w & 511, (w >> 9) & 63,
+             ((w >> 15) & 63) - 1, ((w >> 21) & 63) - 1,
+             ((w >> 27) & 63) - 1, ((w >> 33) & 63) - 1,
+             ((w >> 39) & 63) - 1, ((w >> 45) & 63) - 1)
+            for w in words]
+
+
+def pack_stream(stream, lib=None):
+    """The kernel form of a compiled stream, or ``None`` when unpackable.
+
+    Returns ``(words, lat_template, mem_pos, mem_addr, mem_spec, core)`` —
+    int64 arrays plus the stream's core id.  Streams from the compiler
+    already carry the flat form (``stream.words``), so this is just a view;
+    the residual tuple-stream paths (hand-built test streams, overflow
+    fallbacks probed again) pack through the C ``pack_words`` entry when
+    ``lib`` is given, the Python loop otherwise, memoized on the stream.
+    A µop whose cost or register slots exceed the packed field widths makes
+    the whole stream unpackable — the caller falls back to the Python
+    scheduler, which has no such limits.  Callers must copy the latency
+    array before mutating it: flat streams hand out their own arenas.
+    """
+    words = getattr(stream, "words", None)
+    if words is not None:
+        return (words, stream.lat_template, stream.mem_pos,
+                stream.mem_addr, stream.mem_spec, getattr(stream, "core", 0))
+    cached = stream.__dict__.get("_tc_packed")
+    if cached is not None:
+        return cached or None
+    uops = stream.uops
+    words = (_pack_rows_native(lib, uops) if lib is not None
+             else pack_entry_words(uops))
+    if words is None:
         stream.__dict__["_tc_packed"] = False
         return None
+    packed = (words, array("q", stream.lat_template),
+              array("q", stream.mem_pos), array("q", stream.mem_addr),
+              array("q", stream.mem_spec), getattr(stream, "core", 0))
     stream.__dict__["_tc_packed"] = packed
     return packed
 
 
-#: Reusable int64 scratch arenas, one per role, paired with an equally-sized
-#: zero template for cheap clearing.  The engine is single-threaded per
-#: process (parallelism is process-based), so sharing is safe; callers never
-#: hold one across a call boundary.
+#: Reusable int64 arenas.  String keys are per-role scratch arenas ("occ",
+#: "ctr") recycled across calls; integer keys are free lists of pooled
+#: state-export arenas by element count, recycled across *hierarchies* (see
+#: :func:`_acquire_arena` / :func:`_release_arenas`) — a fresh cell's L3
+#: export (16384 sets x 16 ways = 2MB) reuses a dead cell's arena instead
+#: of allocating and zeroing a new one.  The engine is single-threaded per
+#: process (parallelism is process-based), so sharing is safe.
 _ARENAS = {}
+
+#: Pooled arenas kept per size; beyond this, released arenas are dropped to
+#: the allocator.  Sweeps run cells serially, so a handful per size covers
+#: even a multi-core mix (one private set per core plus the shared set).
+_POOL_LIMIT = 16
 
 
 def _arena(role: str, size: int, zero: bool = True):
-    arena, zeros = _ARENAS.get(role, (None, None))
+    """The per-role scratch arena, grown and (by default) zeroed."""
+    arena = _ARENAS.get(role)
     if arena is None or len(arena) < size:
-        arena = array("q", bytes(8 * size))
-        zeros = array("q", bytes(8 * size))
-        _ARENAS[role] = (arena, zeros)
+        arena = _ARENAS[role] = array("q", bytes(8 * size))
     elif zero:
-        arena[:] = zeros
+        ctypes.memset(arena.buffer_info()[0], 0, 8 * len(arena))
     return arena
+
+
+def _acquire_arena(size: int):
+    """A zeroed ``size``-element int64 arena, reused from the pool if one
+    of exactly this size is free, freshly allocated otherwise."""
+    free = _ARENAS.get(size)
+    if free:
+        arena = free.pop()
+        ctypes.memset(arena.buffer_info()[0], 0, 8 * size)
+        return arena
+    return array("q", bytes(8 * size))
+
+
+def _release_arenas(arenas) -> None:
+    """Return state-export arenas to the pool (capped per size)."""
+    for arena in arenas:
+        free = _ARENAS.setdefault(len(arena), [])
+        if len(free) < _POOL_LIMIT:
+            free.append(arena)
+
+
+def _retire_state(state) -> None:
+    """Release a state dict's pooled arenas (at most once per state).
+
+    Routed through the ``weakref.finalize`` registered at export so that an
+    explicit import-back and the owner's garbage collection can both trigger
+    the release without ever double-pooling an arena.
+    """
+    release = state.pop("_release", None)
+    if release is not None:
+        release()
 
 
 #: Role names of the shared-level arenas (kept in the backend's
@@ -680,10 +799,17 @@ def _shared_parts(backend):
 
 
 def _export_parts(state, caches, tlbs, pfs) -> None:
-    """Flatten the given OrderedDict structures into fresh arenas."""
+    """Flatten the given OrderedDict structures into pooled arenas.
+
+    Every arena comes from :func:`_acquire_arena` (zeroed, recycled across
+    hierarchies) and is recorded in ``state["_arenas"]`` so the state's
+    finalizer can return it to the pool when the owner dies or syncs back.
+    """
+    acquired = state.setdefault("_arenas", [])
     for cache, role in caches:
         assoc = cache._assoc
-        arena = array("q", bytes(8 * cache._num_sets * assoc))
+        arena = _acquire_arena(cache._num_sets * assoc)
+        acquired.append(arena)
         for idx, cset in cache._sets.items():
             i = idx * assoc
             for block, dirty in cset.items():
@@ -691,14 +817,16 @@ def _export_parts(state, caches, tlbs, pfs) -> None:
                 i += 1
         state[role] = arena
     for tlb, role in tlbs:
-        arena = array("q", bytes(8 * tlb.config.entries))
+        arena = _acquire_arena(tlb.config.entries)
+        acquired.append(arena)
         i = 0
         for page in tlb._entries:
             arena[i] = page + 1
             i += 1
         state[role] = arena
     for pf, role in pfs:
-        arena = array("q", bytes(8 * (1 + 2 * pf.config.streams)))
+        arena = _acquire_arena(1 + 2 * pf.config.streams)
+        acquired.append(arena)
         arena[0] = len(pf._streams)
         i = 1
         for s in pf._streams:
@@ -728,11 +856,17 @@ def _export_state(lib, h):
     """
     state = {"lib": lib, "cfg": _config_array(h.config)}
     _export_parts(state, *_private_parts(h))
+    # When the hierarchy dies (or its state is imported back) the arenas
+    # return to the pool; the finalizer closes over the arena list only, so
+    # it neither pins the hierarchy nor can release twice.
+    state["_release"] = weakref.finalize(h, _release_arenas, state["_arenas"])
     backend = h.shared
     tc_shared = backend.__dict__.get("_tc_shared")
     if tc_shared is None:
         tc_shared = {"lib": lib}
         _export_parts(tc_shared, *_shared_parts(backend))
+        tc_shared["_release"] = weakref.finalize(
+            backend, _release_arenas, tc_shared["_arenas"])
         backend.__dict__["_tc_shared"] = tc_shared
     state["shared"] = tc_shared
     for role in _SHARED_ROLES:
@@ -781,13 +915,17 @@ def _import_parts(state, caches, tlbs, pfs) -> None:
 
 
 def import_private_state(state, h) -> None:
-    """Rebuild one core's private structures (L1/TLBs/L1 prefetcher)."""
+    """Rebuild one core's private structures (L1/TLBs/L1 prefetcher) and
+    return the state's arenas to the pool."""
     _import_parts(state, *_private_parts(h))
+    _retire_state(state)
 
 
 def import_shared_state(state, backend) -> None:
-    """Rebuild the backend's shared-level structures (L2/L3/lock/pf2)."""
+    """Rebuild the backend's shared-level structures (L2/L3/lock/pf2) and
+    return the state's arenas to the pool."""
     _import_parts(state, *_shared_parts(backend))
+    _retire_state(state)
 
 
 def _config_array(config):
@@ -1121,9 +1259,49 @@ def _self_test_sched(lib) -> bool:
     return True
 
 
-def _self_test(lib) -> bool:
-    """Both kernels must reproduce the Python loops before being trusted."""
-    return _self_test_hier(lib) and _self_test_sched(lib)
+def _self_test_pack(lib) -> bool:
+    """``pack_words`` must agree with the Python packer, overflow included."""
+    import random
+
+    rng = random.Random(977)
+    good = []
+    for _ in range(512):
+        good.append((rng.randrange(512), rng.randrange(64),
+                     rng.randrange(-1, 63), rng.randrange(-1, 63),
+                     rng.randrange(-1, 63), rng.randrange(-1, 63),
+                     rng.randrange(-1, 63), rng.randrange(-1, 63)))
+    # Field boundaries: every slot at its extremes in one row.
+    good.append((511, 63, 62, -1, 62, -1, 62, -1))
+    good.append((0, 0, -1, -1, -1, -1, -1, -1))
+    ref = pack_entry_words(good)
+    ker = _pack_rows_native(lib, good)
+    if ref is None or ker is None or ref != ker:
+        return False
+    overflowing = ((0, 64, 0, 0, 0, 0, 0, 0),     # cost too wide
+                   (512, 1, 0, 0, 0, 0, 0, 0),    # flags too wide
+                   (0, 1, 63, 0, 0, 0, 0, 0),     # slot too high
+                   (0, 1, 0, 0, 0, 0, 0, -2),     # slot below none
+                   (0, -1, 0, 0, 0, 0, 0, 0))     # negative cost
+    for bad in overflowing:
+        rows = good[:3] + [bad]
+        if pack_entry_words(rows) is not None \
+                or _pack_rows_native(lib, rows) is not None:
+            return False
+    return True
+
+
+def _self_test(lib):
+    """All kernels must reproduce the Python loops before being trusted.
+
+    Returns ``(ok, detail)`` — the failing stage's name lets the loader's
+    refusal message say *which* kernel diverged.
+    """
+    for check, stage in ((_self_test_hier, "hier_batch/warm_fill"),
+                         (_self_test_sched, "sched_run"),
+                         (_self_test_pack, "pack_words")):
+        if not check(lib):
+            return False, stage
+    return True, None
 
 
 def load():

@@ -216,7 +216,9 @@ def load_kernel(name: str, source: str, switch_env: str, dir_env: str,
     ``switch_env`` names the kill-switch environment variable (value ``"0"``
     disables the kernel), ``dir_env`` the cache-directory override.  ``bind``
     attaches ctypes signatures to the loaded library; ``self_test`` must
-    return True before the kernel is handed out.  Every failure — missing
+    return a truthy value — or an ``(ok, detail)`` pair, whose detail names
+    the diverging stage in the refusal reason — before the kernel is handed
+    out.  Every failure — missing
     compiler, failed build, binding error, failed or crashing self-test —
     yields ``None`` with its reason recorded in :func:`status`; an
     unexpected failure (anything but the kill switch) warns once per
@@ -248,13 +250,19 @@ def load_kernel(name: str, source: str, switch_env: str, dir_env: str,
                                  "(REPRO_FAULTS)")
                 else:
                     candidate = bind(so_path)
-                    if self_test(candidate):
+                    outcome = self_test(candidate)
+                    detail = None
+                    if isinstance(outcome, tuple):
+                        outcome, detail = outcome
+                    if outcome:
                         lib = candidate
                         st.available = True
                     else:
                         st.reason = ("self-test refused the kernel "
                                      "(output diverged from the Python "
-                                     "reference)")
+                                     "reference"
+                                     + (f": {detail}" if detail else "")
+                                     + ")")
         except Exception as exc:
             lib = None
             st.available = False

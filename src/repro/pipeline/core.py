@@ -301,7 +301,7 @@ class OutOfOrderCore:
                 result = self._simulate_compiled_native(stream, lib)
                 if result is not None:
                     return result
-        lats = stream.lat_template.copy()
+        lats = stream.lat_template[:]
         self.hierarchy.access_batch(stream.mem_addr, stream.mem_spec,
                                     stream.mem_pos, lats)
         return self._schedule_python(stream, lats)
@@ -325,7 +325,7 @@ class OutOfOrderCore:
                     machine.rob_entries, machine.iq_entries,
                     machine.lq_entries, machine.sq_entries,
                     machine.dispatch_width, machine.commit_width) >= 1:
-                packed = _timecore.pack_stream(stream)
+                packed = _timecore.pack_stream(stream, lib)
                 if packed is not None:
                     if not (isinstance(lats, array) and lats.typecode == "q"):
                         lats = array("q", lats)
@@ -532,11 +532,13 @@ class OutOfOrderCore:
                machine.sq_entries, machine.dispatch_width,
                machine.commit_width) < 1:
             return None
-        packed = _timecore.pack_stream(stream)
+        packed = _timecore.pack_stream(stream, lib)
         if packed is None:
             return None
         words, lat_template, mem_pos, mem_addr, mem_spec, _core = packed
 
+        # The packed view aliases the stream's own arenas; copy before the
+        # hierarchy writes load latencies into it.
         lats = lat_template[:]
         if len(mem_addr):
             self.hierarchy._batch_native(lib, mem_addr, mem_spec, mem_pos,

@@ -21,10 +21,17 @@ This module replaces that hot path with a three-step compilation:
 
 3. **Stream packing** (once per configuration class): replaying the token
    arrays through the template table yields one :class:`CompiledStream` —
-   shared per-µop tuples, a latency prefill, and the packed memory-access
-   sequence (address/spec/position) the hierarchy replays in a single batch
-   — along with exact injection/pointer/page statistics reconstructed from
-   per-template deltas.
+   flat ``array("q")`` columns in the native kernel's wire format (packed
+   µop words, a latency prefill, and the memory-access sequence the
+   hierarchy replays in a single batch) — along with exact
+   injection/pointer/page statistics reconstructed from per-template
+   deltas.  Each template's µop words are packed once at build time, so
+   stream assembly is pure ``array.extend`` and the kernel consumes the
+   stream with zero further marshalling; per-µop tuples are rebuilt on
+   demand (:attr:`CompiledStream.uops`) only for the Python fallback
+   scheduler.  A template whose cost or register slots exceed the packed
+   field widths makes the whole stream tuple-only, exactly as the old
+   post-hoc packing did.
 
 Two Watchdog configurations that inject identically (same ``enabled``,
 pointer-identification mode, bounds mode and copy-elimination setting) share
@@ -37,9 +44,13 @@ equivalence tests pin it bit-for-bit to the object pipeline.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import dataclasses
+from array import array
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
+
+from repro.native._timecore import pack_entry_words, unpack_words
 
 from repro.core.config import WatchdogConfig
 from repro.core.pointer_id import PointerIdStats
@@ -134,14 +145,24 @@ def tokenize(trace: Iterable[DynamicOp]) -> TraceTokens:
     identifiers: opcode, register operands, access size and pointer hint.
     Immediates, labels and comments are deliberately excluded — they never
     reach the timing model.
+
+    The synthetic workload generator interns :class:`Instruction` objects
+    per shape, so most dynamic ops repeat a handful of object identities;
+    those resolve through an ``id()``-keyed memo (the ``keepalive`` list
+    pins the memoized objects, so an id can never be recycled mid-call) and
+    only the first occurrence of each object pays for the structural key.
     """
     key_to_tid = {}
+    id_to_tid = {}
+    keepalive: List[Instruction] = []
     insts: List[Instruction] = []
     tids: List[int] = []
     addrs: List[Optional[int]] = []
     locks: List[Optional[int]] = []
     mis: List[bool] = []
     get = key_to_tid.get
+    id_get = id_to_tid.get
+    keep = keepalive.append
     int_class = RegClass.INT
     append_tid = tids.append
     append_addr = addrs.append
@@ -150,35 +171,41 @@ def tokenize(trace: Iterable[DynamicOp]) -> TraceTokens:
 
     for dop in trace:
         inst = dop.instruction
-        srcs = inst.srcs
-        n = len(srcs)
-        if n > 2:
-            raise CompiledTraceUnsupported(
-                f"instruction has {n} register sources (compiled limit: 2)")
-        dest = inst.dest
-        key = inst.opcode.code
-        if dest is None:
-            key = key * 33
-        else:
-            key = key * 33 + (dest.index + 1 if dest.regclass is int_class
-                              else dest.index + 17)
-        if n:
-            reg = srcs[0]
-            key = key * 33 + (reg.index + 1 if reg.regclass is int_class
-                              else reg.index + 17)
-            if n == 2:
-                reg = srcs[1]
+        tid = id_get(id(inst))
+        if tid is None:
+            srcs = inst.srcs
+            n = len(srcs)
+            if n > 2:
+                raise CompiledTraceUnsupported(
+                    f"instruction has {n} register sources "
+                    f"(compiled limit: 2)")
+            dest = inst.dest
+            key = inst.opcode.code
+            if dest is None:
+                key = key * 33
+            else:
+                key = key * 33 + (dest.index + 1 if dest.regclass is int_class
+                                  else dest.index + 17)
+            if n:
+                reg = srcs[0]
                 key = key * 33 + (reg.index + 1 if reg.regclass is int_class
                                   else reg.index + 17)
+                if n == 2:
+                    reg = srcs[1]
+                    key = key * 33 + (reg.index + 1
+                                      if reg.regclass is int_class
+                                      else reg.index + 17)
+                else:
+                    key = key * 33
             else:
-                key = key * 33
-        else:
-            key = key * 1089
-        key = (key * 9 + inst.size) * 4 + inst.pointer_hint.code
-        tid = get(key)
-        if tid is None:
-            tid = key_to_tid[key] = len(insts)
-            insts.append(inst)
+                key = key * 1089
+            key = (key * 9 + inst.size) * 4 + inst.pointer_hint.code
+            tid = get(key)
+            if tid is None:
+                tid = key_to_tid[key] = len(insts)
+                insts.append(inst)
+            id_to_tid[id(inst)] = tid
+            keep(inst)
         append_tid(tid)
         append_addr(dop.address)
         append_lock(dop.lock_address)
@@ -190,19 +217,27 @@ def tokenize(trace: Iterable[DynamicOp]) -> TraceTokens:
 
 @dataclass(eq=False)
 class CompiledStream:
-    """One trace × configuration-class, packed for the array scheduler."""
+    """One trace × configuration-class, packed for the array scheduler.
 
-    #: Per-µop constant tuples ``(flags, cost, dest, s0, s1, md, ms0, ms1)``;
-    #: register operands are scoreboard slots (-1 = none).  Tuples are shared
-    #: between instances of the same template — the list holds references.
-    uops: List[tuple]
+    The µop column is carried in the native kernel's wire format: one
+    packed int64 word per µop (flags | cost << 9 | six 6-bit register-slot
+    fields — the layout documented at ``sched_run`` in
+    :mod:`repro.native._timecore`).  ``words is None`` marks a *tuple-only*
+    stream — some template overflowed the packed field widths at compile
+    time — which the Python scheduler consumes via :attr:`uops` and the
+    native path refuses, exactly as the old post-hoc packing overflow did.
+    """
+
+    #: Kernel-ready packed µop words, or ``None`` for a tuple-only stream.
+    words: Optional[array]
     #: Per-µop execution latency prefill (fixed latencies; load positions are
-    #: overwritten from the hierarchy batch during simulation).
-    lat_template: List[int]
+    #: overwritten from the hierarchy batch during simulation).  Callers
+    #: copy before mutating — this is the stream's own arena.
+    lat_template: array
     #: Packed memory-access sequence in program order.
-    mem_pos: List[int]
-    mem_addr: List[int]
-    mem_spec: List[int]
+    mem_pos: array
+    mem_addr: array
+    mem_spec: array
     # -- exact whole-stream statistics -------------------------------------------
     total_uops: int
     injected_uops: int
@@ -216,8 +251,45 @@ class CompiledStream:
     #: multi-core mix relabels each member's stream with its core index).
     core: int = 0
 
+    @property
+    def uops(self) -> List[tuple]:
+        """Per-µop ``(flags, cost, dest, s0, s1, md, ms0, ms1)`` tuples.
+
+        Materialized on demand from :attr:`words` (memoized) — only the
+        Python fallback scheduler and the golden tests walk tuples; the
+        production path hands :attr:`words` to the kernel untouched.
+        """
+        tuples = self.__dict__.get("_uop_tuples")
+        if tuples is None:
+            tuples = self.__dict__["_uop_tuples"] = self.to_tuples()
+        return tuples
+
+    def to_tuples(self) -> List[tuple]:
+        """Unpack :attr:`words` into fresh per-µop tuples (no memo)."""
+        return unpack_words(self.words)
+
+    def with_core(self, core: int) -> "CompiledStream":
+        """This stream relabelled for ``core`` (itself when already there).
+
+        Keeps the flat columns (and any tuple/packing memo) shared with the
+        original — relabelling is what a multi-core mix does per member,
+        and must not forfeit the bundle-cached arenas.
+        """
+        if core == self.core:
+            return self
+        clone = dataclasses.replace(self, core=core)
+        tuples = self.__dict__.get("_uop_tuples")
+        if tuples is not None:
+            clone.__dict__["_uop_tuples"] = tuples
+        # Only the *unpackable* marker transfers: a successful legacy pack
+        # memo embeds the original core id and must not be inherited.
+        if self.__dict__.get("_tc_packed") is False:
+            clone.__dict__["_tc_packed"] = False
+        return clone
+
     def __len__(self) -> int:
-        return len(self.uops)
+        words = self.words
+        return len(words) if words is not None else len(self.uops)
 
 
 @dataclass(eq=False)
@@ -228,10 +300,12 @@ class WarmStream:
     expanded warm-up trace plus (for metadata-maintaining classes) the shadow
     lines of each data access — exactly what
     :meth:`Simulator._warm_hierarchy` replays, without the µop objects.
+    Both columns are int64 arrays, so the native warm replay consumes them
+    without conversion.
     """
 
-    addrs: List[int]
-    specs: List[int]
+    addrs: array
+    specs: array
 
     def __len__(self) -> int:
         return len(self.addrs)
@@ -256,13 +330,47 @@ class BundleStreams:
 
 
 class _Template:
-    """Numeric expansion of one instruction identity under one class."""
+    """Numeric expansion of one instruction identity under one class.
 
-    __slots__ = ("uops", "mis_uops", "lats", "n", "addr_ops", "size",
+    Carries both forms of the µop column: packed kernel words (``words`` /
+    ``mis_words``, ``None`` when any entry overflows the packed field
+    widths) and the per-µop tuples the Python fallback consumes.  Stream
+    assembly extends flat arrays from the words, so the packing cost is
+    paid once per identity, not once per dynamic instance.
+    """
+
+    __slots__ = ("uops", "mis_uops", "words", "mis_words", "lats", "n",
+                 "addr_ops", "size",
                  "stat_delta", "pointer_delta", "total_cost", "injected_cost")
 
 
 # -- the compiler ----------------------------------------------------------------------
+
+#: Cross-bundle template cache: one entry per (configuration class, machine,
+#: instruction identity).  Different bundles intern different Instruction
+#: objects for the same static shapes, so the per-compiler id() memo alone
+#: re-expands every identity once per bundle; this cache shares the built
+#: templates across bundles and sweeps.  Templates are immutable after
+#: construction — every consumer copies out of them.  The cap is a
+#: backstop for unbounded sweeps; a full cache simply restarts cold.
+_TEMPLATE_CACHE: Dict[tuple, _Template] = {}
+_TEMPLATE_CACHE_LIMIT = 1 << 16
+
+
+def _identity_key(inst: Instruction) -> tuple:
+    """The template-relevant identity of an instruction, as a flat tuple.
+
+    Covers exactly the fields :func:`tokenize` folds into its interning key
+    (opcode, register operands, access size, pointer hint) — everything that
+    can influence µop injection or timing annotation.
+    """
+    dest = inst.dest
+    return (inst.opcode.code,
+            -1 if dest is None else reg_slot(dest),
+            tuple(reg_slot(reg) for reg in inst.srcs),
+            int(inst.size),
+            inst.pointer_hint.code)
+
 
 class StreamCompiler:
     """Compiles tokenized traces for one configuration class and machine."""
@@ -281,6 +389,15 @@ class StreamCompiler:
         self._frame_start = self._frame_floor + layout.lock_region.size // 2
         self._mw = config.metadata_words
         self._shadow_step = 64 // self._mw
+        #: Templates memoized per interned-instruction identity: the warm
+        #: and measured token streams of one bundle share most identities
+        #: (the generator reuses Instruction objects across the boundary),
+        #: so compiling the warm stream after the measured one rebuilds
+        #: almost nothing.  Keyed by id(); ``_template_pins`` keeps every
+        #: memoized instruction alive so an id is never recycled.
+        self._templates: Dict[int, _Template] = {}
+        self._template_pins: List[Instruction] = []
+        self._cache_key = (stream_class_key(config), self.machine)
 
     # -- template lowering ---------------------------------------------------------
     def _full_expand(self, inst: Instruction):
@@ -289,6 +406,19 @@ class StreamCompiler:
         if extra:
             uops = uops + [timed.uop for timed in extra]
         return uops
+
+    def _template(self, inst: Instruction) -> _Template:
+        t = self._templates.get(id(inst))
+        if t is None:
+            key = (self._cache_key, _identity_key(inst))
+            t = _TEMPLATE_CACHE.get(key)
+            if t is None:
+                if len(_TEMPLATE_CACHE) >= _TEMPLATE_CACHE_LIMIT:
+                    _TEMPLATE_CACHE.clear()
+                t = _TEMPLATE_CACHE[key] = self._build_template(inst)
+            self._templates[id(inst)] = t
+            self._template_pins.append(inst)
+        return t
 
     def _build_template(self, inst: Instruction) -> _Template:
         compiled = compile_template(self.injector, inst, expand=self._full_expand)
@@ -342,7 +472,13 @@ class StreamCompiler:
                 (entry[0] | FLAG_MISPREDICT,) + entry[1:]
                 if entry[0] & FLAG_BRANCH else entry
                 for entry in entries)
-        t.lats = tuple(lats)
+        t.words = pack_entry_words(t.uops)
+        t.mis_words = None
+        if t.words is not None and t.mis_uops is not None:
+            t.mis_words = pack_entry_words(t.mis_uops)
+            if t.mis_words is None:  # keep both forms in lockstep
+                t.words = None
+        t.lats = array("q", lats)
         t.n = len(entries)
         t.addr_ops = tuple(addr_ops)
         t.size = int(inst.size)
@@ -354,17 +490,39 @@ class StreamCompiler:
 
     # -- measured stream ----------------------------------------------------------
     def compile_measured(self, tokens: TraceTokens) -> CompiledStream:
-        """Pack the measured stream plus its exact statistics."""
-        templates: List[Optional[_Template]] = [None] * len(tokens.insts)
-        counts = [0] * len(tokens.insts)
+        """Pack the measured stream plus its exact statistics.
+
+        Emits the kernel's wire format directly: each template's µop words
+        are packed once at build time, and the replay loop assembles the
+        stream's columns with ``array("q").extend`` — C-speed memcpys — so
+        the resulting :class:`CompiledStream` needs no post-hoc
+        ``pack_stream`` pass.  If any template overflows the packed field
+        widths, the whole stream is assembled from tuples instead and
+        marked tuple-only (the Python scheduler has no width limits).
+        """
         insts = tokens.insts
-        build = self._build_template
-        stream: List[tuple] = []
-        lats: List[int] = []
-        mem_pos: List[int] = []
-        mem_addr: List[int] = []
-        mem_spec: List[int] = []
-        extend_uops = stream.extend
+        build = self._template
+        templates = [build(inst) for inst in insts]
+        flat = all(t.words is not None for t in templates)
+        if flat:
+            stream_uops: object = array("q")
+            main = [t.words for t in templates]
+            mis = [t.words if t.mis_words is None else t.mis_words
+                   for t in templates]
+        else:
+            stream_uops = []
+            main = [t.uops for t in templates]
+            mis = [t.uops if t.mis_uops is None else t.mis_uops
+                   for t in templates]
+        lats_by_tid = [t.lats for t in templates]
+        ops_by_tid = [t.addr_ops for t in templates]
+        size_by_tid = [t.size for t in templates]
+        n_by_tid = [t.n for t in templates]
+        lats = array("q")
+        mem_pos = array("q")
+        mem_addr = array("q")
+        mem_spec = array("q")
+        extend_uops = stream_uops.extend
         extend_lats = lats.extend
         add_pos = mem_pos.append
         add_addr = mem_addr.append
@@ -380,16 +538,9 @@ class StreamCompiler:
 
         for tid, address, lock, mispredicted in zip(
                 tokens.tids, tokens.addrs, tokens.locks, tokens.mis):
-            template = templates[tid]
-            if template is None:
-                template = templates[tid] = build(insts[tid])
-            counts[tid] += 1
-            if mispredicted and template.mis_uops is not None:
-                extend_uops(template.mis_uops)
-            else:
-                extend_uops(template.uops)
-            extend_lats(template.lats)
-            addr_ops = template.addr_ops
+            extend_uops(mis[tid] if mispredicted else main[tid])
+            extend_lats(lats_by_tid[tid])
+            addr_ops = ops_by_tid[tid]
             if addr_ops:
                 for off, rule, spec in addr_ops:
                     if rule == ADDR_DATA:
@@ -398,7 +549,7 @@ class StreamCompiler:
                             add_addr(address)
                             add_spec(spec)
                             word = address & ~7
-                            end = address + template.size
+                            end = address + size_by_tid[tid]
                             while word < end:
                                 data_words.add(word)
                                 word += 8
@@ -430,14 +581,13 @@ class StreamCompiler:
                         frame_lock -= 8
                         if frame_lock < frame_floor:
                             frame_lock = frame_floor
-            base += template.n
+            base += n_by_tid[tid]
 
         # -- exact totals from per-template deltas -------------------------------
+        counts = Counter(tokens.tids)
         stat_totals = [0] * 8
         memory_ops = pointer_ops = total_cost = injected_cost = 0
-        for tid, count in enumerate(counts):
-            if not count:
-                continue
+        for tid, count in counts.items():
             template = templates[tid]
             total_cost += count * template.total_cost
             injected_cost += count * template.injected_cost
@@ -447,8 +597,8 @@ class StreamCompiler:
             memory_ops += count * template.pointer_delta[0]
             pointer_ops += count * template.pointer_delta[1]
 
-        return CompiledStream(
-            uops=stream,
+        stream = CompiledStream(
+            words=stream_uops if flat else None,
             lat_template=lats,
             mem_pos=mem_pos,
             mem_addr=mem_addr,
@@ -462,6 +612,13 @@ class StreamCompiler:
             pages=pages,
             class_key=stream_class_key(self.config),
         )
+        if not flat:
+            # The assembled tuples ARE the fallback's input; pin them as the
+            # materialized form and pre-mark the stream unpackable so the
+            # native path never re-probes it.
+            stream.__dict__["_uop_tuples"] = stream_uops
+            stream.__dict__["_tc_packed"] = False
+        return stream
 
     # -- warm-up stream ------------------------------------------------------------
     def compile_warm(self, tokens: TraceTokens) -> WarmStream:
@@ -471,13 +628,13 @@ class StreamCompiler:
         becomes one access; for metadata-maintaining classes every data
         access is followed by its ``metadata_words`` shadow lines (skipped
         at replay under the ideal-shadow ablation, which filters all shadow
-        accesses).
+        accesses).  Emits int64 arrays directly, so the native warm replay
+        (:func:`repro.native._timecore.run_batch`) skips its conversion.
         """
-        templates: List[Optional[_Template]] = [None] * len(tokens.insts)
-        insts = tokens.insts
-        build = self._build_template
-        addrs: List[int] = []
-        specs: List[int] = []
+        build = self._template
+        ops_by_tid = [build(inst).addr_ops for inst in tokens.insts]
+        addrs = array("q")
+        specs = array("q")
         add_addr = addrs.append
         add_spec = specs.append
         mw = self._mw
@@ -487,10 +644,7 @@ class StreamCompiler:
         frame_floor = self._frame_floor
 
         for tid, address, lock in zip(tokens.tids, tokens.addrs, tokens.locks):
-            template = templates[tid]
-            if template is None:
-                template = templates[tid] = build(insts[tid])
-            for off, rule, spec in template.addr_ops:
+            for off, rule, spec in ops_by_tid[tid]:
                 if rule == ADDR_DATA:
                     if address is not None:
                         add_addr(address)

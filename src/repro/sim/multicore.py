@@ -51,7 +51,6 @@ for both the native and the pure-Python batch paths.
 from __future__ import annotations
 
 import dataclasses
-from array import array
 from typing import List, Optional, Sequence
 
 from repro.core.config import WatchdogConfig
@@ -125,7 +124,7 @@ class MultiCoreSimulator:
                  for index in range(len(bundles))]
 
         measured = self._warm(cores, streams, config)
-        lats = [array("q", stream.lat_template) for stream in measured]
+        lats = [stream.lat_template[:] for stream in measured]
         self._replay_interleaved(cores, measured, lats)
 
         outcomes: List[SimulationOutcome] = []
@@ -168,8 +167,10 @@ class MultiCoreSimulator:
         Warm-up is sequential, not interleaved: the §9.1 methodology warms
         each member to steady state, and a deterministic order keeps the
         shared-level LRU state reproducible.  Each member's stream is
-        relabelled with its core index (core 0 keeps the bundle's cached
-        stream object, preserving its packed-arena memo).
+        relabelled with its core index via
+        :meth:`~repro.sim.compiled.CompiledStream.with_core`, which keeps
+        the bundle-cached flat columns shared (core 0 keeps the cached
+        stream object itself).
         """
         from repro.sim import compiled as compiled_mod
 
@@ -180,10 +181,7 @@ class MultiCoreSimulator:
             if bundle_streams.warm is not None:
                 compiled_mod.warm_trace(core.hierarchy, bundle_streams.warm,
                                         config)
-            stream = bundle_streams.measured
-            if index and stream.core != index:
-                stream = dataclasses.replace(stream, core=index)
-            measured.append(stream)
+            measured.append(bundle_streams.measured.with_core(index))
         return measured
 
     @staticmethod
@@ -194,11 +192,13 @@ class MultiCoreSimulator:
         so slicing needs no re-indexing; empty tails simply drop out of the
         rotation.  Each slice routes through ``access_batch`` and therefore
         uses the native kernel (shared arenas) or the Python loops exactly
-        as a single-core batch would.
+        as a single-core batch would.  The streams' memory columns are
+        int64 arrays already (slices of an ``array("q")`` are arrays), so
+        no per-core copies are made.
         """
-        addrs = [array("q", stream.mem_addr) for stream in measured]
-        specs = [array("q", stream.mem_spec) for stream in measured]
-        positions = [array("q", stream.mem_pos) for stream in measured]
+        addrs = [stream.mem_addr for stream in measured]
+        specs = [stream.mem_spec for stream in measured]
+        positions = [stream.mem_pos for stream in measured]
         offset = 0
         done = False
         while not done:

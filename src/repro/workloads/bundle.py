@@ -342,9 +342,10 @@ class TraceBundle:
         if streams:
             for built in streams.values():
                 measured = built.measured
-                # uops + lat_template run per µop; mem_pos/mem_addr/mem_spec
-                # run per memory access.
-                ops += 2 * len(measured.uops) + 3 * len(measured.mem_pos)
+                # words + lat_template run per µop; mem_pos/mem_addr/mem_spec
+                # run per memory access.  len(measured) reads the flat word
+                # column without materializing the per-µop tuple fallback.
+                ops += 2 * len(measured) + 3 * len(measured.mem_pos)
                 if built.warm is not None:
                     # addrs + specs.
                     ops += 2 * len(built.warm)
