@@ -38,6 +38,7 @@ from repro.sim.spec import ResiliencePolicy, settings_from_args
 from repro.workloads.profiles import (
     benchmark_names,
     long_profile_names,
+    one_b_profile_names,
     paper_profile_names,
 )
 
@@ -149,6 +150,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-mix", action="store_true",
                        help="skip the 4-core multi-core mix cell (timed by "
                             "default and gated by --check)")
+    bench.add_argument("--no-one-b", action="store_true",
+                       help="skip the billion-instruction streaming smoke "
+                            "cell (timed by default; --check gates both its "
+                            "throughput floor and its peak-RSS ceiling)")
     bench.add_argument("--no-reference", action="store_true",
                        help="skip timing the reference object pipeline")
     bench.add_argument("--output", "-o", metavar="FILE", default=None,
@@ -214,7 +219,7 @@ def _cmd_run(args) -> int:
     from repro.workloads.profiles import parse_mix_benchmark
 
     known = set(benchmark_names()) | set(long_profile_names()) \
-        | set(paper_profile_names())
+        | set(paper_profile_names()) | set(one_b_profile_names())
     unknown = []
     for name in settings.benchmarks:
         if name in known:
@@ -393,6 +398,7 @@ def _run_bench_record(bench, args, kwargs):
         include_suite=not args.no_suite,
         include_timecore=not args.no_timecore,
         include_mix=not args.no_mix,
+        include_one_b=not args.no_one_b,
         **kwargs)
 
 

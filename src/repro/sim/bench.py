@@ -19,22 +19,25 @@ import dataclasses
 import datetime
 import json
 import subprocess
+import sys
 import time
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.config import WatchdogConfig
 from repro.pipeline.config import MachineConfig
-from repro.sim.sampling import SamplingConfig
+from repro.sim.sampling import SamplingConfig, SamplingSchedule
 from repro.sim.simulator import PIPELINE_COMPILED, PIPELINE_REFERENCE, Simulator
 from repro.workloads import _ffcore
 from repro.workloads.bundle import TraceBundle
 from repro.workloads.profiles import (
     LONG_HORIZON_INSTRUCTIONS,
+    ONE_B_HORIZON_INSTRUCTIONS,
     PAPER_HORIZON_INSTRUCTIONS,
     benchmark_names,
     profile_by_name,
 )
+from repro.workloads.streaming import SampleStream
 from repro.workloads.synthetic import SyntheticWorkload
 
 #: The Figure 7 cell matrix: identification policies plus the §9.3 ablation,
@@ -92,6 +95,20 @@ PAPER_BENCHMARK = "mcf-paper"
 PAPER_INSTRUCTIONS = PAPER_HORIZON_INSTRUCTIONS
 PAPER_SMOKE_SAMPLING = SamplingConfig(fast_forward=24_900_000,
                                       warmup=50_000, sample=50_000)
+
+#: The billion-instruction streaming smoke cell: one ``*-1b`` benchmark over
+#: the full 1B horizon through :meth:`Simulator.run_streaming`, under a §9.1
+#: schedule that keeps the timed portion smoke-test sized (0.1% measured,
+#: 10 periods).  Gated two ways in CI: ``one_b_ops_per_sec`` floors the
+#: end-to-end rate (generation-dominated — it collapses if the native
+#: fast-forward kernel stops carrying the skip windows), and
+#: ``one_b_peak_rss_mb`` *ceilings* the process peak RSS — the streaming
+#: guarantee that memory stays one-sample-flat regardless of horizon (a
+#: retained 1B bundle would blow through it by gigabytes).
+ONE_B_BENCHMARK = "mcf-1b"
+ONE_B_INSTRUCTIONS = ONE_B_HORIZON_INSTRUCTIONS
+ONE_B_SMOKE_SAMPLING = SamplingConfig(fast_forward=99_800_000,
+                                      warmup=100_000, sample=100_000)
 
 
 def repo_revision() -> str:
@@ -251,6 +268,72 @@ def run_paper_cell(benchmark: str = PAPER_BENCHMARK,
                             machine=machine)
 
 
+def peak_rss_mb() -> Optional[float]:
+    """This process's peak resident set size in MB, or ``None`` if unknown.
+
+    Best-effort via ``getrusage``: Linux reports ``ru_maxrss`` in KB, macOS
+    in bytes, and platforms without the ``resource`` module (Windows) report
+    nothing.  The figure is the process-lifetime high-water mark — it only
+    ever grows — so per-cell stamps record the high water *as of that cell
+    finishing*, and a ceiling on a late cell bounds the whole run.
+    """
+    try:
+        import resource
+    except ImportError:
+        return None
+    try:
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (OSError, ValueError):
+        return None
+    if not usage:
+        return None
+    divisor = 1024 * 1024 if sys.platform == "darwin" else 1024
+    return round(usage / divisor, 1)
+
+
+def run_one_b_cell(benchmark: str = ONE_B_BENCHMARK,
+                   instructions: int = ONE_B_INSTRUCTIONS,
+                   seed: int = DEFAULT_SEED,
+                   sampling: Optional[SamplingConfig] = None,
+                   machine: Optional[MachineConfig] = None) -> Dict[str, object]:
+    """Run one billion-instruction streaming cell end to end.
+
+    Streaming is explicit (:meth:`Simulator.run_streaming`, regardless of
+    the ``REPRO_STREAMING`` override): the cell exists to demonstrate — and
+    regression-gate — that the 1B regime completes in one-sample-flat
+    memory.  The headline figure is *end-to-end* horizon instructions per
+    wall second, because at 99.8% skip the run is generation-dominated by
+    construction: that is the quantity that collapses (by ~15x) if the
+    native fast-forward kernel silently stops carrying the skip windows.
+    ``peak_rss_mb`` is stamped by :func:`run_bench` when the cell finishes
+    and is ceiling-gated via ``one_b_peak_rss_mb``.
+    """
+    sampling = sampling or ONE_B_SMOKE_SAMPLING
+    simulator = Simulator(machine=machine, pipeline=PIPELINE_COMPILED)
+    stream = SampleStream(benchmark, seed, instructions, sampling)
+    t0 = time.perf_counter()
+    outcome = simulator.run_streaming(benchmark,
+                                      WatchdogConfig.isa_assisted_uaf(),
+                                      instructions=instructions,
+                                      sampling=sampling, seed=seed)
+    wall = time.perf_counter() - t0
+    timing = outcome.timing
+    return {
+        "benchmark": benchmark,
+        "instructions": instructions,
+        "sampling": dataclasses.asdict(sampling),
+        "samples": len(stream),
+        "measured_instructions":
+            SamplingSchedule(sampling).measured_count(instructions),
+        "streaming": True,
+        "timed_uops": timing.total_uops,
+        "wall_seconds": round(wall, 4),
+        "one_b_ops_per_sec": round(instructions / wall, 1) if wall else 0.0,
+        "timed_uops_per_sec": round(timing.total_uops / wall, 1)
+        if wall else 0.0,
+    }
+
+
 def run_timecore_cell(benchmarks: Optional[Sequence[str]] = None,
                       instructions: Optional[int] = None,
                       seed: int = DEFAULT_SEED) -> Dict[str, object]:
@@ -390,7 +473,8 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
               include_paper: bool = True,
               include_suite: bool = True,
               include_timecore: bool = True,
-              include_mix: bool = True) -> Dict[str, object]:
+              include_mix: bool = True,
+              include_one_b: bool = True) -> Dict[str, object]:
     """Run the benchmark (optionally under both pipelines) and summarize.
 
     ``instructions=None`` selects the scale implied by ``quick``; an
@@ -407,7 +491,16 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
     (:func:`run_timecore_cell` — like the paper cell, never scaled down by
     ``quick``: the ``kernel_uops_per_sec`` floor describes the full matrix),
     and ``include_mix`` the 4-core mix cell (:func:`run_mix_cell`, scaled
-    down by ``quick``) gating the shared-hierarchy interleaved replay.
+    down by ``quick``) gating the shared-hierarchy interleaved replay, and
+    ``include_one_b`` the billion-instruction streaming cell
+    (:func:`run_one_b_cell` — never scaled down by ``quick``: completing the
+    full 1B horizon in flat memory is the point; its schedule is already
+    smoke-tier).
+
+    Every cell record is stamped with ``peak_rss_mb`` — the process peak
+    RSS as of that cell finishing (best-effort; absent where ``getrusage``
+    is unavailable) — so ``BENCH_<rev>.json`` tracks the memory trajectory
+    alongside throughput.
     """
     if quick:
         benchmarks = tuple(benchmarks or QUICK_BENCHMARKS)
@@ -417,6 +510,12 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
         benchmarks = tuple(benchmarks or benchmark_names())
         if instructions is None:
             instructions = DEFAULT_INSTRUCTIONS
+    def _stamped(cell: Dict[str, object]) -> Dict[str, object]:
+        rss = peak_rss_mb()
+        if rss is not None:
+            cell["peak_rss_mb"] = rss
+        return cell
+
     record: Dict[str, object] = {
         "revision": repo_revision(),
         "generated_at": datetime.datetime.now(
@@ -430,35 +529,38 @@ def run_bench(benchmarks: Optional[Sequence[str]] = None,
             "sampling": None if sampling is None
             else dataclasses.asdict(sampling),
         },
-        "compiled": run_matrix(benchmarks, instructions, seed,
-                               PIPELINE_COMPILED, sampling=sampling),
+        "compiled": _stamped(run_matrix(benchmarks, instructions, seed,
+                                        PIPELINE_COMPILED, sampling=sampling)),
     }
     if include_reference:
-        record["reference"] = run_matrix(benchmarks, instructions, seed,
-                                         PIPELINE_REFERENCE, sampling=sampling)
+        record["reference"] = _stamped(
+            run_matrix(benchmarks, instructions, seed,
+                       PIPELINE_REFERENCE, sampling=sampling))
         compiled_rate = record["compiled"]["uops_per_sec"]
         reference_rate = record["reference"]["uops_per_sec"]
         if reference_rate:
             record["speedup_vs_reference"] = round(
                 compiled_rate / reference_rate, 2)
     if include_sampled:
-        record["sampled"] = run_sampled_cell(
+        record["sampled"] = _stamped(run_sampled_cell(
             instructions=SAMPLED_QUICK_INSTRUCTIONS if quick
-            else SAMPLED_INSTRUCTIONS, seed=seed)
+            else SAMPLED_INSTRUCTIONS, seed=seed))
     if include_fast_forward:
-        record["fast_forward"] = run_fast_forward_cell(
+        record["fast_forward"] = _stamped(run_fast_forward_cell(
             ops=FAST_FORWARD_QUICK_OPS if quick else FAST_FORWARD_OPS,
-            seed=seed)
+            seed=seed))
     if include_paper:
-        record["paper_sampled"] = run_paper_cell(seed=seed)
+        record["paper_sampled"] = _stamped(run_paper_cell(seed=seed))
     if include_suite:
-        record["suite"] = run_suite_cell(seed=seed)
+        record["suite"] = _stamped(run_suite_cell(seed=seed))
     if include_timecore:
-        record["timecore"] = run_timecore_cell(seed=seed)
+        record["timecore"] = _stamped(run_timecore_cell(seed=seed))
     if include_mix:
-        record["mix"] = run_mix_cell(
+        record["mix"] = _stamped(run_mix_cell(
             instructions=MIX_QUICK_INSTRUCTIONS if quick
-            else MIX_INSTRUCTIONS, seed=seed)
+            else MIX_INSTRUCTIONS, seed=seed))
+    if include_one_b:
+        record["one_b"] = _stamped(run_one_b_cell(seed=seed))
     record["kernels"] = kernel_statuses()
     record["degradations"] = [event.to_dict()
                               for event in kernel_degradation_events()]
@@ -507,11 +609,21 @@ def check_against_baseline(record: Dict[str, object], baseline_path: str,
     ``max_regression`` below it.  ``sampled_uops_per_sec``,
     ``fast_forward_ops_per_sec``, ``paper_sampled_uops_per_sec``,
     ``suite_cells_per_sec``, ``kernel_uops_per_sec``,
-    ``compile_uops_per_sec`` and ``mix_uops_per_sec`` baseline entries
-    additionally gate the sampled long-profile cell, the skip-window-only
-    fast-forward cell, the 100M paper-scale cell, the merged registry suite
-    cell, the native-timecore matrix cell (simulate-phase and compile-phase
-    throughput respectively) and the 4-core mix cell the same way.
+    ``compile_uops_per_sec``, ``mix_uops_per_sec`` and
+    ``one_b_ops_per_sec`` baseline entries additionally gate the sampled
+    long-profile cell, the skip-window-only fast-forward cell, the 100M
+    paper-scale cell, the merged registry suite cell, the native-timecore
+    matrix cell (simulate-phase and compile-phase throughput respectively),
+    the 4-core mix cell and the billion-instruction streaming cell the same
+    way.
+
+    ``one_b_peak_rss_mb`` is a **ceiling**, not a floor: the check fails
+    when the 1B streaming cell's recorded peak RSS *exceeds* it.  No
+    tolerance is applied — the ceiling already carries its own headroom over
+    the one-sample working figure, and the failure mode it guards against
+    (samples being retained across the horizon) overshoots by gigabytes,
+    not percent.  A record without the measurement (platforms where
+    ``getrusage`` is unavailable) is reported as skipped.
     """
     data = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
     checks = [("matrix", float(data["uops_per_sec"]),
@@ -532,6 +644,8 @@ def check_against_baseline(record: Dict[str, object], baseline_path: str,
         ("compile", "timecore", "compile_uops_per_sec",
          "compile_uops_per_sec", "uops/sec"),
         ("mix", "mix", "mix_uops_per_sec", "mix_uops_per_sec", "uops/sec"),
+        ("one_b", "one_b", "one_b_ops_per_sec", "one_b_ops_per_sec",
+         "ops/sec"),
     )
     for label, name, baseline_key, record_key, unit in optional_gates:
         floor = data.get(baseline_key)
@@ -544,6 +658,25 @@ def check_against_baseline(record: Dict[str, object], baseline_path: str,
             # The baseline declares a floor but the record skipped the cell
             # (--no-sampled and friends): say so rather than silently pass.
             skipped.append(f"{label}: SKIPPED (no {name} cell in record)")
+    #: (label, cell name, baseline key, record key, unit) — measured values
+    #: must stay *at or below* the baseline; no tolerance is applied.
+    ceiling_gates = (
+        ("one_b_rss", "one_b", "one_b_peak_rss_mb", "peak_rss_mb", "MB"),
+    )
+    ceiling_checks = []
+    for label, name, baseline_key, record_key, unit in ceiling_gates:
+        ceiling = data.get(baseline_key)
+        if ceiling is None:
+            continue
+        cell = record.get(name)
+        if cell is None:
+            skipped.append(f"{label}: SKIPPED (no {name} cell in record)")
+        elif cell.get(record_key) is None:
+            skipped.append(f"{label}: SKIPPED ({record_key} unavailable "
+                           f"on this platform)")
+        else:
+            ceiling_checks.append((label, float(ceiling),
+                                   float(cell[record_key]), unit))
     ok = True
     parts = []
     for name, baseline_rate, measured, unit in checks:
@@ -554,6 +687,12 @@ def check_against_baseline(record: Dict[str, object], baseline_path: str,
                      f"{baseline_rate:,.0f} (floor {floor:,.0f}, "
                      f"tolerance {max_regression:.0%}): "
                      f"{'OK' if passed else 'REGRESSION'}")
+    for name, ceiling, measured, unit in ceiling_checks:
+        passed = measured <= ceiling
+        ok = ok and passed
+        parts.append(f"{name}: measured {measured:,.0f} {unit} vs ceiling "
+                     f"{ceiling:,.0f} (no tolerance): "
+                     f"{'OK' if passed else 'EXCEEDED'}")
     return ok, "; ".join(parts + skipped)
 
 
@@ -589,6 +728,18 @@ def format_summary(record: Dict[str, object]) -> str:
                 f"{sampled['uops_per_sec']:,.0f} uops/sec "
                 f"(generate {sampled['generate_seconds']:.2f}s, "
                 f"simulate {sampled['simulate_seconds']:.2f}s)")
+    one_b = record.get("one_b")
+    if one_b:
+        rss = one_b.get("peak_rss_mb")
+        rss_text = f", peak RSS {rss:,.0f} MB" if rss is not None else ""
+        lines.append(
+            f"{'one-b':>13}: {one_b['benchmark']} "
+            f"{one_b['instructions']:,} instructions streamed, "
+            f"{one_b['samples']} samples "
+            f"({one_b['measured_instructions']:,} measured) in "
+            f"{one_b['wall_seconds']:.2f}s — "
+            f"{one_b['one_b_ops_per_sec']:,.0f} ops/sec end to end"
+            f"{rss_text}")
     fast_forward = record.get("fast_forward")
     if fast_forward:
         lines.append(

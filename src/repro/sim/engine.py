@@ -61,7 +61,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -79,7 +79,8 @@ from repro.sim.faults import (
 from repro.sim.journal import RunJournal
 from repro.sim.results import CellFailure, CellResult, DegradationEvent
 from repro.sim.sampling import SamplingConfig
-from repro.sim.simulator import Simulator, aggregate_outcomes, resolve_pipeline
+from repro.sim.simulator import OutcomeAccumulator, Simulator, \
+    aggregate_outcomes, resolve_pipeline
 from repro.sim.spec import (
     ExperimentSpec,
     MergedGrid,
@@ -88,6 +89,7 @@ from repro.sim.spec import (
     request_content_key,
 )
 from repro.workloads.bundle import TraceBundle
+from repro.workloads.streaming import SampleStream, use_streaming
 
 CellKey = Tuple[str, str]
 
@@ -229,6 +231,14 @@ def _execute_job_cells(job: BenchmarkJob,
     parsed = parse_mix_benchmark(job.benchmark)
     if parsed is not None:
         return _execute_mix_job(job, parsed, machine)
+    if job.sampling is not None and job.warmup_instructions is None \
+            and use_streaming(job.instructions, job.sampling):
+        # Streaming regime: never materialize (or memoize) the full bundle —
+        # samples are generated, simulated under every cell config, folded
+        # and dropped one at a time, so the job's peak memory is one sample.
+        if sample_pool is not None:
+            return _execute_streaming_pooled(job, machine, sample_pool)
+        return _execute_streaming_serial(job, machine)
     bundle = _bundle_for(job)
     if bundle.samples:
         if sample_pool is not None and len(bundle.samples) > 1:
@@ -329,6 +339,67 @@ def _execute_sampled_job(job: BenchmarkJob, bundle: TraceBundle,
         for index, outcomes in enumerate(slice_result):
             per_config[index].extend(outcomes)
     return [CellResult.from_outcome(aggregate_outcomes(per_config[index]),
+                                    label=label)
+            for index, (label, _) in enumerate(job.cells)]
+
+
+def _execute_streaming_serial(job: BenchmarkJob,
+                              machine: Optional[MachineConfig]) -> List[CellResult]:
+    """Run a streaming sampled job in-process, one sample in memory.
+
+    Sample-major like :func:`_execute_sampled_serial` — each streamed
+    segment is wrapped as a transient one-sample bundle, replayed under
+    every cell configuration (sharing tokenization and per-equivalence-class
+    compilation through the transient bundle's caches), folded into each
+    configuration's accumulator, and dropped.  Aggregation order is sample
+    order, so results are bit-identical to the retained-bundle paths.
+    """
+    simulator = Simulator(machine, pipeline=job.pipeline)
+    stream = SampleStream(job.benchmark, job.seed, job.instructions,
+                          job.sampling)
+    accumulators = [OutcomeAccumulator() for _ in job.cells]
+    for segment in stream.segments():
+        bundle = stream.segment_bundle(segment)
+        for slot, (_, config) in enumerate(job.cells):
+            accumulators[slot].add(simulator.sample_outcome(bundle, 0, config))
+    return [CellResult.from_outcome(accumulators[slot].finalize(), label=label)
+            for slot, (label, _) in enumerate(job.cells)]
+
+
+def _execute_streaming_pooled(job: BenchmarkJob,
+                              machine: Optional[MachineConfig],
+                              sample_pool: ProcessPoolExecutor) -> List[CellResult]:
+    """Fan a streaming job's samples across the pool, boundedly in flight.
+
+    Generation stays serial in the parent (the workload state is one
+    continuous evolution), but simulation fans out: each streamed segment is
+    submitted as a one-sample slice task, and at most ``pool width + 2``
+    slices exist at once — the parent blocks on the *oldest* future before
+    generating further, so completed samples are folded and freed in sample
+    order (bit-identical aggregation, exactly the serial order) and peak
+    memory is bounded by the in-flight window instead of the horizon.
+    """
+    configs = tuple(config for _, config in job.cells)
+    stream = SampleStream(job.benchmark, job.seed, job.instructions,
+                          job.sampling)
+    accumulators = [OutcomeAccumulator() for _ in configs]
+    max_inflight = (getattr(sample_pool, "_max_workers", None) or 2) + 2
+
+    def absorb(future) -> None:
+        for index, outcomes in enumerate(future.result()):
+            for outcome in outcomes:
+                accumulators[index].add(outcome)
+
+    inflight: "deque" = deque()
+    for segment in stream.segments():
+        payload = (stream.segment_bundle(segment), configs, machine,
+                   job.pipeline)
+        inflight.append(sample_pool.submit(_sample_slice_job, payload))
+        if len(inflight) >= max_inflight:
+            absorb(inflight.popleft())
+    while inflight:
+        absorb(inflight.popleft())
+    return [CellResult.from_outcome(accumulators[index].finalize(),
                                     label=label)
             for index, (label, _) in enumerate(job.cells)]
 

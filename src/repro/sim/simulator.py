@@ -33,6 +33,7 @@ from repro.sim.trace import DynamicOp, TraceExpander
 from repro.workloads.bundle import TraceBundle, WorkingSet, \
     default_warmup_instructions
 from repro.workloads.profiles import BenchmarkProfile, profile_by_name
+from repro.workloads.streaming import SampleStream, use_streaming
 from repro.workloads.synthetic import SyntheticWorkload
 
 
@@ -128,6 +129,81 @@ def aggregate_outcomes(outcomes: Sequence[SimulationOutcome]) -> SimulationOutco
         pointer_stats=pointer,
         pages=pages,
     )
+
+
+class OutcomeAccumulator:
+    """Fold per-sample outcomes one at a time, releasing each as it lands.
+
+    Bit-identical to calling :func:`aggregate_outcomes` on the full outcome
+    list — pinned by the streaming golden tests — while pinning only
+    per-sample scalars between samples.  The heavyweight parts of an outcome
+    (the page accountant's touched-word sets, injection/pointer counters)
+    fold into running totals immediately; only each sample's
+    :class:`TimingResult` (a handful of ints and a small per-port dict) is
+    retained, because the §9.1 cycle-weighted port-wait average divides by
+    the *total* cycles, which are unknown until the last sample.  At
+    :meth:`finalize` the port waits are folded with exactly
+    :func:`aggregate_outcomes`'s float expression in exactly its iteration
+    order, so streaming aggregation is not merely close but equal.
+    """
+
+    def __init__(self):
+        self.benchmark: Optional[str] = None
+        self.configuration: Optional[str] = None
+        self._timings: List[TimingResult] = []
+        self._injection = {field.name: 0
+                           for field in dataclasses.fields(InjectionStats)}
+        self._memory_ops = 0
+        self._pointer_ops = 0
+        self._pages = PageAccountant()
+
+    def __len__(self) -> int:
+        return len(self._timings)
+
+    def add(self, outcome: SimulationOutcome) -> None:
+        """Absorb one per-sample outcome (in sample order)."""
+        if not self._timings:
+            self.benchmark = outcome.benchmark
+            self.configuration = outcome.configuration
+        self._timings.append(outcome.timing)
+        injection = self._injection
+        for name in injection:
+            injection[name] += getattr(outcome.injection, name)
+        self._memory_ops += outcome.pointer_stats.memory_ops
+        self._pointer_ops += outcome.pointer_stats.pointer_ops
+        self._pages.data_words |= outcome.pages.data_words
+        self._pages.shadow_words |= outcome.pages.shadow_words
+
+    def finalize(self) -> SimulationOutcome:
+        """The aggregate of everything absorbed, §9.1-style."""
+        timings = self._timings
+        if not timings:
+            raise ValueError("no sample outcomes were accumulated")
+        total_cycles = sum(timing.cycles for timing in timings)
+        port_waits = {}
+        for timing in timings:
+            for port, wait in timing.port_waits.items():
+                port_waits[port] = port_waits.get(port, 0.0) \
+                    + wait * (timing.cycles / total_cycles if total_cycles else 0.0)
+        timing = TimingResult(
+            cycles=total_cycles,
+            total_uops=sum(t.total_uops for t in timings),
+            injected_uops=sum(t.injected_uops for t in timings),
+            macro_instructions=sum(t.macro_instructions for t in timings),
+            memory_accesses=sum(t.memory_accesses for t in timings),
+            lock_cache_misses=sum(t.lock_cache_misses for t in timings),
+            l1d_misses=sum(t.l1d_misses for t in timings),
+            port_waits=port_waits,
+        )
+        return SimulationOutcome(
+            benchmark=self.benchmark,
+            configuration=self.configuration,
+            timing=timing,
+            injection=InjectionStats(**self._injection),
+            pointer_stats=PointerIdStats(memory_ops=self._memory_ops,
+                                         pointer_ops=self._pointer_ops),
+            pages=self._pages,
+        )
 
 
 class Simulator:
@@ -346,8 +422,18 @@ class Simulator:
         to replay one trace under many configurations materialize a
         :class:`TraceBundle` instead and use :meth:`run_bundle`, which
         produces bit-identical results.
+
+        Sampled runs past the streaming threshold (or with ``REPRO_STREAMING=1``
+        set) take :meth:`run_streaming` instead of materializing a retained
+        bundle — same windows, same samples, bit-identical aggregate, flat
+        memory.
         """
         if sampling is not None:
+            if warmup_instructions is None \
+                    and use_streaming(instructions, sampling):
+                return self.run_streaming(profile, config,
+                                          instructions=instructions,
+                                          sampling=sampling, seed=seed)
             bundle = TraceBundle.generate(profile, seed=seed,
                                           instructions=instructions,
                                           warmup_instructions=warmup_instructions,
@@ -400,6 +486,27 @@ class Simulator:
                      config: WatchdogConfig) -> SimulationOutcome:
         """Replay every sample of a sampled bundle and fold the results."""
         return aggregate_outcomes(self.sample_outcomes(bundle, config))
+
+    def run_streaming(self, profile, config: WatchdogConfig,
+                      instructions: int, sampling: SamplingConfig,
+                      seed: int = 0) -> SimulationOutcome:
+        """Run a §9.1-sampled workload streaming: one sample in memory.
+
+        Each sample segment is generated, wrapped as a transient one-sample
+        bundle, compiled, simulated and folded into the accumulator — then
+        every per-sample artifact (raw traces, token/stream caches,
+        working-set arrays) is dropped with the bundle before the next
+        sample is generated.  Peak memory is one sample regardless of
+        horizon; the result is bit-identical to :meth:`run_bundle` over the
+        retained bundle of the same (profile, seed, instructions, sampling).
+        ``profile`` may be a :class:`BenchmarkProfile` or a profile name.
+        """
+        stream = SampleStream(profile, seed, instructions, sampling)
+        accumulator = OutcomeAccumulator()
+        for segment in stream.segments():
+            bundle = stream.segment_bundle(segment)
+            accumulator.add(self.sample_outcome(bundle, 0, config))
+        return accumulator.finalize()
 
     def sample_outcome(self, bundle: TraceBundle, index: int,
                        config: WatchdogConfig) -> SimulationOutcome:

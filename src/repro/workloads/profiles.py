@@ -157,9 +157,32 @@ PAPER_PROFILES: Tuple[BenchmarkProfile, ...] = (
     _p("perl-paper", 0.33, 0.67, 0.55, 0.39, 0.00, 0.02, 0.19, 0.08, 5.0,  1.00,  128,  4608,  0.75, 0.64),
 )
 
+#: Dynamic-instruction horizon matching the 1B-instruction regions of
+#: interest that full-SPEC sampled-simulation studies standardize on — an
+#: order of magnitude past the ``*-paper`` operating point.  Only reachable
+#: streaming (:mod:`repro.workloads.streaming`): a retained bundle at this
+#: horizon would pin hundreds of raw sample traces, whereas the streaming
+#: driver holds exactly one regardless of horizon.
+ONE_B_HORIZON_INSTRUCTIONS = 1_000_000_000
+
+#: Billion-instruction variants of the long-horizon benchmarks.  Same
+#: dynamic instruction mix; working sets another step past the ``*-paper``
+#: populations, with temporal locality weakened toward a full reference
+#: run's.  Like the other long-horizon tiers they are excluded from
+#: :func:`benchmark_names` (the calibrated twenty-benchmark figure grids
+#: stay at their published scale).
+ONE_B_PROFILES: Tuple[BenchmarkProfile, ...] = (
+    # name      mem   load  word  ptr   fpacc fpcmp br    misp  calls allocs bytes objs   temp  spat
+    _p("mcf-1b",  0.33, 0.70, 0.57, 0.40, 0.00, 0.01, 0.17, 0.09, 1.5,  0.50,  192,  16384, 0.40, 0.50),
+    _p("gcc-1b",  0.32, 0.68, 0.52, 0.36, 0.00, 0.02, 0.18, 0.09, 4.0,  0.80,  144,  8192,  0.70, 0.62),
+    _p("lbm-1b",  0.38, 0.62, 0.07, 0.03, 0.70, 0.55, 0.04, 0.01, 0.2,  0.01,  4096, 6144,  0.30, 0.95),
+    _p("perl-1b", 0.33, 0.67, 0.55, 0.39, 0.00, 0.02, 0.19, 0.08, 5.0,  1.00,  128,  6144,  0.72, 0.64),
+)
+
 _BY_NAME: Dict[str, BenchmarkProfile] = {
     profile.name: profile
-    for profile in SPEC_PROFILES + LONG_PROFILES + PAPER_PROFILES}
+    for profile in SPEC_PROFILES + LONG_PROFILES + PAPER_PROFILES
+    + ONE_B_PROFILES}
 
 
 def profile_by_name(name: str) -> BenchmarkProfile:
@@ -184,6 +207,11 @@ def long_profile_names() -> List[str]:
 def paper_profile_names() -> List[str]:
     """Names of the paper-scale (100M-horizon) profiles."""
     return [profile.name for profile in PAPER_PROFILES]
+
+
+def one_b_profile_names() -> List[str]:
+    """Names of the billion-instruction (streaming-only) profiles."""
+    return [profile.name for profile in ONE_B_PROFILES]
 
 
 # -- multi-core workload mixes ---------------------------------------------------------

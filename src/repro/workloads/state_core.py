@@ -67,6 +67,12 @@ class WorkloadCore:
     #: one phase; the pool slides over the full working set as objects churn,
     #: mimicking program phase behaviour instead of uniformly random traffic.
     COLD_POOL_OBJECTS = 192
+    #: Retired (freed, unreferenced) slots tolerated in the append-only slot
+    #: arrays before they are compacted.  Slots are never reused, so over a
+    #: billion-instruction horizon the arrays would otherwise grow with every
+    #: allocation ever made (~26 bytes/slot) even though only the live working
+    #: set is reachable; compaction keeps the generator side flat too.
+    COMPACT_RETIRED_SLOTS = 1_000_000
 
     def __init__(self, profile: BenchmarkProfile, seed: int = 0):
         self.profile = profile
@@ -171,6 +177,8 @@ class WorkloadCore:
 
     def _materialize_allocation(self, size: int) -> int:
         """malloc ``size`` bytes and register the new slot (no RNG draws)."""
+        if len(self._slot_sizes) - len(self._order) >= self.COMPACT_RETIRED_SLOTS:
+            self._compact_slots()
         pointer, metadata = self.runtime.malloc(size)
         record = self.runtime.record_for(pointer)
         assert record is not None
@@ -193,6 +201,34 @@ class WorkloadCore:
 
     def _allocate_object(self) -> int:
         return self._materialize_allocation(self._allocation_size())
+
+    def _compact_slots(self) -> None:
+        """Renumber reachable slots densely, dropping retired array entries.
+
+        Reachable means: live (in ``_order``), in the hot set (possibly freed
+        but still addressable — the stale-reference quirk), or stale-kept.
+        No RNG draws and no allocator traffic happen here, and slot *ids*
+        never feed a draw or an address, so compaction is invisible to the
+        emitted trace — pinned by the golden compaction tests.
+
+        Every structure is mutated **in place**: ``_advance_span_py`` binds
+        the size/cursor/rich/order/hot structures as locals for its whole
+        span, so replacing the objects (rather than their contents) would
+        desynchronize a compaction triggered mid-span.  (The native span
+        loop re-fetches buffer addresses around every allocator bounce, so
+        in-place slice assignment is safe there too.)
+        """
+        keep = sorted(set(self._order) | set(self._hot) | self._stale_kept)
+        remap = {old: new for new, old in enumerate(keep)}
+        self._slot_sizes[:] = array("q", (self._slot_sizes[s] for s in keep))
+        self._slot_cursors[:] = array("q", (self._slot_cursors[s] for s in keep))
+        self._slot_rich[:] = array("b", (self._slot_rich[s] for s in keep))
+        self._slot_locks[:] = array("q", (self._slot_locks[s] for s in keep))
+        self._slot_live[:] = array("b", (self._slot_live[s] for s in keep))
+        self._slot_records[:] = [self._slot_records[s] for s in keep]
+        self._order[:] = array("q", (remap[s] for s in self._order))
+        self._hot[:] = [remap[s] for s in self._hot]
+        self._stale_kept = {remap[s] for s in self._stale_kept}
 
     def _free_slot(self, index: int) -> int:
         """Free the live object at ``_order[index]`` (no RNG draws)."""

@@ -1,0 +1,183 @@
+"""Streaming sampled generation: one sample in memory, any horizon.
+
+A retained :class:`~repro.workloads.bundle.TraceBundle` materializes every
+§9.1 :class:`~repro.workloads.bundle.SampleSegment` up front and keeps them
+all for replayability — the right trade for sweeps that replay one trace
+under many configurations at the 1M long-profile scale, and a linear memory
+wall past ~100M instructions.  :class:`SampleStream` is the streaming
+counterpart: it walks the very same windows loop over one continuous
+workload, but *yields* each sample segment as it is generated, so the driver
+(:meth:`repro.sim.simulator.Simulator.run_streaming`, or the sweep engine's
+streaming executor) can generate → compile → simulate → aggregate → release
+one sample at a time.  Peak memory is one sample's raw traces plus its
+compiled artifacts, regardless of horizon — which is what makes
+billion-instruction (``*-1b``) horizons run in flat memory.
+
+Replay-on-demand (:meth:`SampleStream.segment`) regenerates any single
+sample bit-identically from the state core alone: a fresh workload
+fast-forwards functionally to the sample's warm-up window start and re-emits
+the warm-up and measure windows.  Because ``fast_forward`` is pinned
+bit-identical to emit-and-discard (the golden fast-forward tests), the
+regenerated segment is byte-for-byte the one the continuous walk produced —
+the debugging path for "what did sample 73 of that 1B run contain?", and the
+anchor the golden tests use to pin streaming equal to the retained path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.sampling import SamplingConfig, SamplingSchedule
+from repro.workloads.bundle import SampleSegment, TraceBundle
+from repro.workloads.profiles import BenchmarkProfile, profile_by_name
+from repro.workloads.synthetic import SyntheticWorkload
+
+#: Horizons past this stream by default (``REPRO_STREAMING`` overrides).
+#: Below it the retained bundle is the better trade: the raw segments fit
+#: comfortably in memory and stay replayable under further configurations
+#: (the sweep engine's bundle memo), while regeneration would cost a full
+#: horizon walk per run.  Above it — the ``*-paper`` and ``*-1b`` tiers —
+#: memory flatness wins and the generator is fast enough to re-walk.
+STREAMING_THRESHOLD_INSTRUCTIONS = 8_000_000
+
+
+def use_streaming(instructions: int,
+                  sampling: Optional[SamplingConfig]) -> bool:
+    """Whether a sampled run of this shape should stream its samples.
+
+    Streaming requires a schedule that genuinely samples the horizon
+    (degenerate or measures-nothing schedules normalize to the unsampled
+    layout and cannot stream).  Within that, ``REPRO_STREAMING=1`` forces
+    streaming at any scale (the golden-equality CI leg), ``REPRO_STREAMING=0``
+    forces the retained bundle, and by default horizons past
+    :data:`STREAMING_THRESHOLD_INSTRUCTIONS` stream.
+    """
+    if sampling is None:
+        return False
+    schedule = SamplingSchedule(sampling)
+    if sampling.degenerate or schedule.measured_count(instructions) == 0:
+        return False
+    override = os.environ.get("REPRO_STREAMING", "").strip()
+    if override == "1":
+        return True
+    if override == "0":
+        return False
+    return instructions > STREAMING_THRESHOLD_INSTRUCTIONS
+
+
+class SampleStream:
+    """One benchmark's §9.1 samples, generated and surrendered one at a time.
+
+    The streaming walk (:meth:`segments`) and the eager
+    :meth:`TraceBundle._generate_sampled` run the identical windows loop over
+    the identical workload state, so segment *i* of the stream equals segment
+    *i* of the retained bundle byte for byte; the only difference is
+    ownership — the stream keeps no reference to a yielded segment.
+    """
+
+    def __init__(self, profile: Union[str, BenchmarkProfile], seed: int,
+                 instructions: int, sampling: SamplingConfig):
+        if isinstance(profile, str):
+            profile = profile_by_name(profile)
+        self.profile = profile
+        self.seed = seed
+        self.instructions = instructions
+        self.sampling = sampling.validate()
+        self.schedule = SamplingSchedule(self.sampling)
+        if self.sampling.degenerate \
+                or self.schedule.measured_count(instructions) == 0:
+            raise ConfigurationError(
+                f"sampling schedule measures "
+                f"{'everything' if self.sampling.degenerate else 'nothing'} "
+                f"over {instructions} instructions; streaming requires a "
+                f"schedule that genuinely samples the horizon "
+                f"(e.g. SamplingConfig.paper_scaled())")
+
+    @property
+    def benchmark(self) -> str:
+        return self.profile.name
+
+    def __len__(self) -> int:
+        """Number of sample segments the stream will yield."""
+        return sum(1 for _, _, phase in self._windows()
+                   if phase == SamplingSchedule.MEASURE)
+
+    def _windows(self) -> List[Tuple[int, int, str]]:
+        return self.schedule.windows(self.instructions)
+
+    def segments(self) -> Iterator[SampleSegment]:
+        """Walk the horizon once, yielding each sample segment in order.
+
+        The loop body is :meth:`TraceBundle._generate_sampled`'s, verbatim:
+        skip windows advance the workload functionally, warm-up windows are
+        emitted and held pending, and each measure window is emitted with the
+        working set frozen at its warm-up/measure boundary.  The caller owns
+        every yielded segment outright — dropping it frees the sample.
+        """
+        workload = SyntheticWorkload(self.profile, seed=self.seed)
+        pending_warm: Tuple = ()
+        for start, end, phase in self._windows():
+            length = end - start
+            if phase == SamplingSchedule.SKIP:
+                workload.fast_forward(length)
+                pending_warm = ()
+            elif phase == SamplingSchedule.WARMUP:
+                pending_warm = tuple(workload.emit(length))
+            else:
+                snapshot = workload.snapshot_working_set()
+                measured = tuple(workload.emit(length))
+                yield SampleSegment(warmup=pending_warm, measured=measured,
+                                    working_set=snapshot)
+                pending_warm = ()
+
+    def segment(self, index: int) -> SampleSegment:
+        """Regenerate sample ``index`` alone, bit-identically (replay-on-demand).
+
+        A fresh workload fast-forwards through everything before the sample's
+        warm-up window — skip, warm-up and measure windows of earlier periods
+        alike, all functionally — then emits just this sample's warm-up and
+        measure windows.  ``fast_forward`` ≡ emit-and-discard (golden-pinned),
+        so the RNG stream, allocator state and cursors arrive at the window
+        boundary exactly as the continuous walk's did.
+        """
+        windows = self._windows()
+        measure_positions = [i for i, (_, _, phase) in enumerate(windows)
+                             if phase == SamplingSchedule.MEASURE]
+        if not 0 <= index < len(measure_positions):
+            raise IndexError(
+                f"sample index {index} out of range: schedule yields "
+                f"{len(measure_positions)} samples over "
+                f"{self.instructions} instructions")
+        position = measure_positions[index]
+        measure_start, measure_end, _ = windows[position]
+        # The warm-up is the immediately preceding window iff it is a WARMUP:
+        # the eager loop resets its pending warm-up on every skip window, and
+        # a warm-up window is always directly followed by its measure window
+        # (non-degenerate schedules interpose a skip between periods).
+        warm_start = measure_start
+        if position > 0 and windows[position - 1][2] == SamplingSchedule.WARMUP:
+            warm_start = windows[position - 1][0]
+        workload = SyntheticWorkload(self.profile, seed=self.seed)
+        workload.fast_forward(warm_start)
+        warmup = tuple(workload.emit(measure_start - warm_start)) \
+            if measure_start > warm_start else ()
+        snapshot = workload.snapshot_working_set()
+        measured = tuple(workload.emit(measure_end - measure_start))
+        return SampleSegment(warmup=warmup, measured=measured,
+                             working_set=snapshot)
+
+    def segment_bundle(self, segment: SampleSegment) -> TraceBundle:
+        """Wrap one streamed segment as a single-sample :class:`TraceBundle`.
+
+        The transient bundle is what lets streaming reuse the per-sample
+        replay machinery (compiled-stream caching across a job's
+        configurations included) unchanged; it and every compiled artifact it
+        accumulates are dropped when the caller releases the segment.
+        """
+        return TraceBundle(
+            benchmark=self.profile.name, seed=self.seed,
+            instructions=self.instructions, warmup_instructions=0,
+            warmup=(), measured=(), working_set=segment.working_set,
+            sampling=self.sampling, samples=(segment,))

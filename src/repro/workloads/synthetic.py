@@ -286,6 +286,12 @@ class SyntheticWorkload(WorkloadCore):
         skip window's instructions are never materialized.  Whole events are
         advanced by the state core in bulk; only an event straddling the
         window boundary is materialized, into the pending buffer.
+
+        Because consecutive calls compose (``fast_forward(a + b)`` ≡
+        ``fast_forward(a); fast_forward(b)``, both golden-pinned), any window
+        of the continuous stream can be re-entered from a fresh workload —
+        which is what :meth:`repro.workloads.streaming.SampleStream.segment`
+        exploits to regenerate one §9.1 sample bit-identically on demand.
         """
         if count <= 0:
             return
